@@ -1,0 +1,25 @@
+# Convenience targets; see README.md for details.
+
+.PHONY: install test test-fast bench examples all
+
+install:
+	pip install -e . || python setup.py develop  # offline fallback
+
+test:
+	python -m pytest tests/
+
+test-fast:
+	python -m pytest tests/ -m "not slow"
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/staleness_tradeoff.py
+	python examples/geo_replication.py
+	python examples/social_network.py
+	python examples/protocol_comparison.py
+	python examples/impossibility_demo.py
+
+all: install test bench

@@ -1,0 +1,98 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md §5).
+
+* ``RC(C, α)`` exploration: configuration snapshot/restore (deepcopy)
+  vs replaying the command log from the initial configuration — the
+  snapshot approach is what makes the proof engine's branching cheap;
+* consistency checking: the exact Definition-1 search vs the
+  witness-based scanner — the scanner is what makes checking large
+  histories feasible;
+* simulator throughput: raw events per second, the number everything
+  else is built on.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.analysis.tables import format_table
+from repro.consistency import check_causal_exact, find_causal_anomalies
+from repro.protocols import build_system
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.workloads import WorkloadSpec, run_workload
+
+_notes = []
+
+
+def _built_system():
+    system = build_system("cops_snow", objects=("X0", "X1", "X2", "X3"), n_servers=2)
+    hist = run_workload(system, WorkloadSpec(n_txns=40, read_ratio=0.6, seed=5))
+    return system, hist
+
+
+class TestBranchingAblation:
+    def test_snapshot_restore(self, benchmark):
+        system, _ = _built_system()
+        sim = system.sim
+        snap = sim.snapshot()
+
+        def branch_via_snapshot():
+            sim.restore(snap)
+
+        benchmark(branch_via_snapshot)
+
+    def test_log_replay(self, benchmark):
+        system, _ = _built_system()
+        sim = system.sim
+        recorded = list(sim.log)
+        fresh = build_system(
+            "cops_snow", objects=("X0", "X1", "X2", "X3"), n_servers=2
+        )
+        base = fresh.sim.snapshot()
+
+        def branch_via_replay():
+            fresh.sim.restore(base)
+            fresh.sim.replay(recorded)
+
+        benchmark.pedantic(branch_via_replay, rounds=3, iterations=1)
+
+
+class TestCheckerAblation:
+    def _history(self, n):
+        system = build_system(
+            "wren", objects=("X0", "X1"), n_servers=2, clients=("c0", "c1")
+        )
+        return run_workload(
+            system, WorkloadSpec(n_txns=n, read_ratio=0.5, read_size=(1, 2), seed=3)
+        )
+
+    def test_exact_checker(self, benchmark):
+        hist = self._history(12)
+        res = benchmark.pedantic(
+            lambda: check_causal_exact(hist), rounds=3, iterations=1
+        )
+        assert res.consistent
+
+    def test_witness_scanner(self, benchmark):
+        hist = self._history(12)
+        res = benchmark(lambda: find_causal_anomalies(hist))
+        assert res == []
+
+    def test_witness_scanner_large(self, benchmark):
+        hist = self._history(120)
+        res = benchmark.pedantic(
+            lambda: find_causal_anomalies(hist), rounds=3, iterations=1
+        )
+        assert res == []
+
+
+class TestSimulatorThroughput:
+    def test_events_per_second(self, benchmark):
+        def run():
+            system = build_system(
+                "fastclaim", objects=("X0", "X1"), n_servers=2
+            )
+            hist = run_workload(system, WorkloadSpec(n_txns=50, seed=9))
+            return len(system.sim.trace)
+
+        events = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert events > 0
+        benchmark.extra_info["events"] = events

@@ -1,0 +1,40 @@
+"""Figures 1–3 — regenerated from live executions.
+
+* Figure 1: the initialization Q_in → Q_0 → C_0;
+* Figure 2: Constructions 1 (γ_old: all-initial read) and 2
+  (γ_new: all-written read);
+* Figure 3: execution β, the spliced β_new, and the contradictory γ
+  whose fast ROT returns a mix of old and new values.
+"""
+
+from conftest import once, save_result
+from repro.analysis import figure1, figure2, figure3
+
+
+def test_figure1(benchmark):
+    text = once(benchmark, figure1, "cops_snow")
+    save_result("figure1", text)
+    assert "Q_in" in text and "Q_0" in text and "C_0" in text
+    assert "X0:init" in text and "X1:init" in text
+
+
+def test_figure2(benchmark):
+    text = once(benchmark, figure2, "fastclaim")
+    save_result("figure2", text)
+    # Construction 1 returns the initial values, Construction 2 the new
+    assert "(all initial)" in text
+    assert "(all written)" in text
+
+
+def test_figure3(benchmark):
+    text = once(benchmark, figure3, "fastclaim")
+    save_result("figure3", text)
+    assert "CAUSAL_VIOLATION" in text
+    assert "mix of old and new values" in text
+
+
+def test_figure3_depth(benchmark):
+    """Figure 3 against the depth-k specimen: the β of round 2K."""
+    text = once(benchmark, figure3, "handshake", max_k=8, sync_hops=2)
+    save_result("figure3_handshake", text)
+    assert text.count("necessary message") == 4

@@ -1,0 +1,111 @@
+"""Geo-replication: cross-datacenter visibility lag and read locality.
+
+The geo-replicated COPS deployment measures the architecture the paper's
+causal systems were built for: local reads stay fast (two rounds within
+the home datacenter), while a write's visibility at remote datacenters
+lags behind replication and dependency checking — and the lag grows
+with the causal chain length, because every link adds a dependency the
+remote datacenter must install first.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.protocols.cops_geo import build_geo_system
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.txn.types import read_only_txn, write_only_txn
+
+_rows = []
+
+
+def _chain_lag(chain_len: int, n_dcs: int = 2) -> int:
+    """Events from the last write's ack until it is readable at dc1."""
+    system = build_geo_system(
+        objects=tuple(f"X{i}" for i in range(max(2, chain_len))),
+        n_dcs=n_dcs,
+        partitions_per_dc=2,
+        clients=("a", "b"),
+        home_dcs={"a": 0, "b": 1},
+    )
+    sched = RoundRobinScheduler()
+    value = ""
+    for i in range(chain_len):
+        value = f"v{i}"
+        system.execute(
+            "a", write_only_txn({f"X{i}": value}, txid=f"w{i}"), scheduler=sched
+        )
+        if i < chain_len - 1:
+            # read it back to forge the causal chain link
+            system.execute(
+                "a", read_only_txn((f"X{i}",), txid=f"r{i}"), scheduler=sched
+            )
+    start = system.sim.event_count
+    last_obj = f"X{chain_len - 1}"
+    events = 0
+    while events < 20_000:
+        rec = None
+        try:
+            rec = system.execute(
+                "b",
+                read_only_txn((last_obj,), txid=f"probe{events}"),
+                scheduler=sched,
+            )
+        except Exception:
+            pass
+        if rec is not None and rec.reads[last_obj] == value:
+            return system.sim.event_count - start
+        if system.sim.quiescent():
+            rec = system.execute(
+                "b", read_only_txn((last_obj,), txid="final"), scheduler=sched
+            )
+            assert rec.reads[last_obj] == value
+            return system.sim.event_count - start
+        events += 1
+    raise AssertionError("write never became visible at the remote DC")
+
+
+@pytest.mark.parametrize("chain_len", [1, 2, 4, 6])
+def test_visibility_lag_grows_with_chain(benchmark, chain_len):
+    lag = once(benchmark, _chain_lag, chain_len)
+    _rows.append([chain_len, lag])
+    benchmark.extra_info["lag_events"] = lag
+
+
+def test_local_reads_unaffected_by_remote_dcs(benchmark):
+    def rounds_at(n_dcs):
+        system = build_geo_system(
+            objects=("X0", "X1"),
+            n_dcs=n_dcs,
+            partitions_per_dc=2,
+            clients=("a",),
+            home_dcs={"a": 0},
+        )
+        sched = RoundRobinScheduler()
+        system.execute("a", write_only_txn({"X0": "v"}, txid="w"), scheduler=sched)
+        rec = system.execute(
+            "a", read_only_txn(("X0", "X1"), txid="r"), scheduler=sched
+        )
+        from repro.analysis.metrics import analyze_transactions
+
+        stats = analyze_transactions(
+            system.sim.trace, system.history(), system.servers
+        )
+        return stats["r"].rounds
+
+    rounds = once(benchmark, lambda: [rounds_at(n) for n in (2, 3, 4)])
+    assert rounds == [1, 1, 1]  # home-DC reads don't widen with the fleet
+
+
+def test_geo_table(benchmark):
+    once(benchmark, lambda: None)
+    save_result(
+        "geo_visibility",
+        format_table(
+            ["causal chain length", "remote visibility lag (events)"],
+            sorted(_rows),
+            title="Geo-replicated COPS: dependency depth vs remote visibility",
+        ),
+    )
+    lags = [lag for _, lag in sorted(_rows)]
+    assert lags[-1] > lags[0]  # deeper chains take longer to surface

@@ -1,0 +1,87 @@
+"""ROT latency across protocols and read ratios.
+
+The paper reports no performance numbers (it is an impossibility
+result); these benchmarks quantify the *shape* its introduction and
+Section 3.4 describe: fast-ROT designs answer reads in one round,
+everything that keeps multi-object write transactions pays in rounds
+(Wren, Cure, Eiger) or in blocking (Spanner, GentleRain-family), and
+the gap widens with contention.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.metrics import analyze_transactions
+from repro.analysis.tables import format_table
+from repro.protocols import build_system, protocol_names
+from repro.workloads import WorkloadSpec, run_workload
+
+PROTOCOLS = [p for p in sorted(protocol_names()) if p != "handshake"]
+READ_RATIOS = [0.5, 0.9, 0.99]
+
+_rows = {}
+
+
+def _run(protocol, read_ratio):
+    system = build_system(protocol, objects=("X0", "X1", "X2", "X3"), n_servers=2)
+    spec = WorkloadSpec(
+        n_txns=120, read_ratio=read_ratio, read_size=(2, 3), seed=31
+    )
+    hist = run_workload(system, spec)
+    stats = analyze_transactions(system.sim.trace, hist, system.servers)
+    rots = [s for s in stats.values() if s.read_only]
+    n = max(1, len(rots))
+    return {
+        "rounds": sum(s.rounds for s in rots) / n,
+        "latency": sum(s.latency_events for s in rots) / n,
+        "blocked": 100.0 * sum(s.blocked for s in rots) / n,
+        "msgs": sum(s.n_messages for s in rots) / n,
+    }
+
+
+@pytest.mark.parametrize("read_ratio", READ_RATIOS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_rot_latency(benchmark, protocol, read_ratio):
+    r = once(benchmark, _run, protocol, read_ratio)
+    _rows[(protocol, read_ratio)] = r
+    benchmark.extra_info.update(r)
+
+
+def test_latency_table(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for protocol in PROTOCOLS:
+        row = [protocol]
+        for rr in READ_RATIOS:
+            r = _rows.get((protocol, rr))
+            row.append(
+                f"{r['rounds']:.2f}R/{r['latency']:.0f}ev/{r['blocked']:.0f}%b"
+                if r
+                else "-"
+            )
+        rows.append(row)
+    save_result(
+        "latency_sweep",
+        format_table(
+            ["protocol"] + [f"reads={rr:.0%}" for rr in READ_RATIOS],
+            rows,
+            title="ROT cost (avg rounds / avg latency in events / % blocked)",
+        ),
+    )
+    # shape assertions: one-round designs stay at 1 round at every ratio;
+    # two-round designs stay at 2; blocking appears only in the blocking
+    # family
+    for rr in READ_RATIOS:
+        if ("cops_snow", rr) in _rows:
+            assert _rows[("cops_snow", rr)]["rounds"] == 1.0
+            assert _rows[("cops_snow", rr)]["blocked"] == 0.0
+        if ("wren", rr) in _rows:
+            assert _rows[("wren", rr)]["rounds"] == 2.0
+            assert _rows[("wren", rr)]["blocked"] == 0.0
+        if ("contrarian", rr) in _rows:
+            assert _rows[("contrarian", rr)]["blocked"] == 0.0
+    # under contention the latency ordering holds: the fast design is
+    # at least as cheap as the snapshot designs
+    low = _rows[("cops_snow", 0.5)]["latency"]
+    assert low <= _rows[("wren", 0.5)]["latency"]
+    assert low <= _rows[("cure", 0.5)]["latency"]

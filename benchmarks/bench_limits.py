@@ -1,0 +1,72 @@
+"""Section 3.4 — the limits of the impossibility result.
+
+Each corner of the design space gives up exactly one of the four
+properties and keeps the other three; this benchmark verifies, by
+measurement, that the four corner designs do precisely that:
+
+* N + R + V (COPS-SNOW): fast ROTs, no multi-object write transactions;
+* N + V + W (Wren): non-blocking one-value reads, two rounds;
+* N + R + W (COPS-RW): one-round non-blocking reads, multi-value;
+* R + V + W (Spanner): one-round one-value reads, blocking.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.core import measure_fast_rot
+from repro.protocols import get_protocol
+
+CORNERS = {
+    "cops_snow": dict(one_round=True, one_value=True, nonblocking=True, wtx=False),
+    "wren": dict(one_round=False, one_value=True, nonblocking=True, wtx=True),
+    "cops_rw": dict(one_round=True, one_value=False, nonblocking=True, wtx=True),
+    "spanner": dict(one_round=True, one_value=True, nonblocking=False, wtx=True),
+}
+
+_rows = []
+
+
+@pytest.mark.parametrize("protocol", sorted(CORNERS))
+def test_corner(benchmark, protocol):
+    expected = CORNERS[protocol]
+    report = once(benchmark, measure_fast_rot, protocol)
+    assert report.one_round == expected["one_round"], report.describe()
+    assert report.one_value == expected["one_value"], report.describe()
+    assert report.nonblocking == expected["nonblocking"], report.describe()
+    assert get_protocol(protocol).supports_wtx == expected["wtx"]
+    given_up = [
+        name
+        for name, keep in (
+            ("one-round", report.one_round),
+            ("one-value", report.one_value),
+            ("non-blocking", report.nonblocking),
+            ("write txns", expected["wtx"]),
+        )
+        if not keep
+    ]
+    assert len(given_up) == 1  # exactly one property sacrificed
+    _rows.append(
+        [
+            protocol,
+            "yes" if report.one_round else "NO",
+            "yes" if report.one_value else "NO",
+            "yes" if report.nonblocking else "NO",
+            "yes" if expected["wtx"] else "NO",
+            given_up[0],
+        ]
+    )
+
+
+def test_corners_table(benchmark):
+    once(benchmark, lambda: None)
+    save_result(
+        "limits_3of4",
+        format_table(
+            ["design", "one-round", "one-value", "non-blocking", "WTX", "gives up"],
+            sorted(_rows),
+            title="Section 3.4 — every 3-of-4 combination is achievable "
+            "(measured)",
+        ),
+    )
+    assert len(_rows) == 4

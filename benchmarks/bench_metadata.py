@@ -1,0 +1,77 @@
+"""Wire-cost comparison — the price of each design corner.
+
+Quantifies two claims the paper makes in passing:
+
+* the N+R+W sketch "requires to store and communicate a prohibitively
+  big amount of data" — COPS-RW's per-read value bytes grow with the
+  causal history while everyone else stays flat;
+* metadata economics across the causal family: GentleRain's O(1) scalar
+  vs Orbe/Cure's O(m) vectors vs COPS's dependency lists.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.metrics import analyze_transactions
+from repro.analysis.tables import format_table
+from repro.protocols import build_system, protocol_names
+from repro.workloads import WorkloadSpec, run_workload
+
+PROTOCOLS = ["cops", "cops_snow", "gentlerain", "orbe", "cure", "wren", "cops_rw"]
+
+_rows = {}
+
+
+def _wire_cost(protocol, n_txns):
+    system = build_system(
+        protocol, objects=tuple(f"X{i}" for i in range(8)), n_servers=4
+    )
+    spec = WorkloadSpec(n_txns=n_txns, read_ratio=0.6, read_size=(2, 3), seed=17)
+    hist = run_workload(system, spec)
+    stats = analyze_transactions(system.sim.trace, hist, system.servers)
+    rots = [s for s in stats.values() if s.read_only]
+    n = max(1, len(rots))
+    return {
+        "value_bytes": sum(s.value_bytes for s in rots) / n,
+        "meta_bytes": sum(s.metadata_bytes for s in rots) / n,
+    }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_wire_cost(benchmark, protocol):
+    r = once(benchmark, _wire_cost, protocol, 150)
+    _rows[protocol] = r
+    benchmark.extra_info.update(r)
+
+
+def test_cops_rw_cost_grows_with_history(benchmark):
+    """COPS-RW per-ROT value bytes grow as the causal store fills."""
+
+    def run():
+        return (_wire_cost("cops_rw", 30), _wire_cost("cops_rw", 200))
+
+    short, long = once(benchmark, run)
+    assert long["value_bytes"] > short["value_bytes"] * 1.5, (short, long)
+
+
+def test_metadata_table(benchmark):
+    once(benchmark, lambda: None)
+    rows = [
+        [p, f"{r['value_bytes']:.0f}", f"{r['meta_bytes']:.0f}"]
+        for p, r in sorted(_rows.items())
+    ]
+    save_result(
+        "metadata_cost",
+        format_table(
+            ["protocol", "value bytes/ROT", "metadata bytes/ROT"],
+            rows,
+            title="Wire cost per ROT (8 objects, 4 servers, 150 txns)",
+        ),
+    )
+    # shapes: COPS-RW ships far more value bytes than any one-value design;
+    # vector metadata (orbe/cure) costs more than scalar (gentlerain)
+    one_value_max = max(
+        _rows[p]["value_bytes"] for p in PROTOCOLS if p != "cops_rw"
+    )
+    assert _rows["cops_rw"]["value_bytes"] > 2 * one_value_max
+    assert _rows["orbe"]["meta_bytes"] > _rows["gentlerain"]["meta_bytes"]

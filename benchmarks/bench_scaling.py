@@ -1,0 +1,84 @@
+"""Scaling: servers and clients.
+
+The impossibility result holds for any number of servers; the cost of
+working around it scales differently per design.  Sweeps the server
+count (2–6) and client count (2–8) for representative protocols and
+records per-ROT message counts and latency — the cross-server traffic
+of the snapshot designs grows with the cluster, COPS-SNOW's read path
+does not (its write path pays instead).
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.metrics import analyze_transactions
+from repro.analysis.tables import format_table
+from repro.protocols import build_system
+from repro.workloads import WorkloadSpec, run_workload
+
+PROTOCOLS = ["cops_snow", "wren", "cure", "spanner"]
+SERVER_COUNTS = [2, 4, 6]
+
+_rows = {}
+
+
+def _run(protocol, n_servers, n_clients=4):
+    objects = tuple(f"X{i}" for i in range(2 * n_servers))
+    clients = tuple(f"c{i}" for i in range(n_clients))
+    system = build_system(protocol, objects=objects, n_servers=n_servers,
+                          clients=clients)
+    spec = WorkloadSpec(n_txns=100, read_ratio=0.7, read_size=(2, 4), seed=23)
+    hist = run_workload(system, spec)
+    stats = analyze_transactions(system.sim.trace, hist, system.servers)
+    rots = [s for s in stats.values() if s.read_only]
+    n = max(1, len(rots))
+    total_events = len(system.sim.trace)
+    return {
+        "rot_msgs": sum(s.n_messages for s in rots) / n,
+        "rot_latency": sum(s.latency_events for s in rots) / n,
+        "events_per_txn": total_events / max(1, len(hist.records)),
+    }
+
+
+@pytest.mark.parametrize("n_servers", SERVER_COUNTS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_server_scaling(benchmark, protocol, n_servers):
+    r = once(benchmark, _run, protocol, n_servers)
+    _rows[(protocol, n_servers)] = r
+    benchmark.extra_info.update(r)
+
+
+def test_client_scaling(benchmark):
+    def run():
+        return {
+            n: _run("wren", 2, n_clients=n)["events_per_txn"] for n in (2, 4, 8)
+        }
+
+    by_clients = once(benchmark, run)
+    # more clients -> more concurrency -> bounded growth in events/txn
+    assert by_clients[8] < by_clients[2] * 4
+
+
+def test_scaling_table(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for protocol in PROTOCOLS:
+        row = [protocol]
+        for n in SERVER_COUNTS:
+            r = _rows.get((protocol, n))
+            row.append(f"{r['rot_msgs']:.1f}m/{r['events_per_txn']:.0f}ev" if r else "-")
+        rows.append(row)
+    save_result(
+        "scaling_servers",
+        format_table(
+            ["protocol"] + [f"{n} servers" for n in SERVER_COUNTS],
+            rows,
+            title="Scaling (per-ROT messages / events per txn)",
+        ),
+    )
+    # COPS-SNOW's ROT message count grows only with the read fan-out,
+    # and stays below the 2-round designs at every size
+    for n in SERVER_COUNTS:
+        assert (
+            _rows[("cops_snow", n)]["rot_msgs"] <= _rows[("wren", n)]["rot_msgs"]
+        )

@@ -1,0 +1,107 @@
+"""Theorem 1 — the impossibility result on the two-server system.
+
+Three experiments:
+
+* the verdict map: every protocol gives up one of the four properties
+  (or causal consistency itself);
+* the induction-depth sweep: Handshake-K forces exactly 2K necessary
+  messages before the splice catches it — the troublesome execution of
+  Lemma 3, growing linearly with the protocol's coordination depth;
+* engine cost: how the adversary's work scales with K.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.core import (
+    CAUSAL_VIOLATION,
+    NO_MULTI_WRITE,
+    NOT_FAST,
+    STALLED,
+    InductionConfig,
+    check_impossibility,
+    prepare_theorem_system,
+    run_induction,
+)
+
+EXPECTED = {
+    "cops": NO_MULTI_WRITE,
+    "cops_snow": NO_MULTI_WRITE,
+    "contrarian": NO_MULTI_WRITE,
+    "gentlerain": NO_MULTI_WRITE,
+    "orbe": NO_MULTI_WRITE,
+    "wren": NOT_FAST,
+    "cure": NOT_FAST,
+    "eiger": NOT_FAST,
+    "occult": NOT_FAST,
+    "ramp": NOT_FAST,
+    "ramp_small": NOT_FAST,
+    "spanner": NOT_FAST,
+    "calvin": NOT_FAST,
+    "cops_rw": NOT_FAST,
+    "fastclaim": CAUSAL_VIOLATION,
+    "handshake": CAUSAL_VIOLATION,
+    # the §4 loophole: fast + WTX bought with unbounded staleness —
+    # minimal progress (Definition 3) is what breaks
+    "swiftcloud": STALLED,
+}
+
+_rows = []
+
+
+@pytest.mark.parametrize("protocol", sorted(EXPECTED))
+def test_verdict(benchmark, protocol):
+    verdict = once(benchmark, check_impossibility, protocol, max_k=6)
+    assert verdict.outcome == EXPECTED[protocol], verdict.describe()
+    _rows.append(
+        [
+            protocol,
+            verdict.outcome,
+            verdict.k_reached,
+            (verdict.detail or "")[:60],
+        ]
+    )
+
+
+def test_verdict_table(benchmark):
+    once(benchmark, lambda: None)
+    save_result(
+        "theorem1_verdicts",
+        format_table(
+            ["protocol", "outcome", "k", "detail"],
+            sorted(_rows),
+            title="Theorem 1 — property given up, per protocol",
+        ),
+    )
+
+
+DEPTHS = [1, 2, 3, 4]
+_depth_rows = []
+
+
+@pytest.mark.parametrize("hops", DEPTHS)
+def test_induction_depth(benchmark, hops):
+    def run():
+        tsys = prepare_theorem_system("handshake", sync_hops=hops)
+        return run_induction(tsys, InductionConfig(max_k=2 * hops + 2))
+
+    verdict = once(benchmark, run)
+    assert verdict.outcome == CAUSAL_VIOLATION
+    assert verdict.k_reached == 2 * hops
+    _depth_rows.append([hops, verdict.k_reached, len(verdict.forced_messages)])
+
+
+def test_depth_table(benchmark):
+    once(benchmark, lambda: None)
+    save_result(
+        "theorem1_depth",
+        format_table(
+            ["sync_hops K", "violation at round k", "forced messages"],
+            _depth_rows,
+            title="Lemma 3 induction depth vs protocol coordination depth "
+            "(expected: k = 2K)",
+        ),
+    )
+    # the linear shape of the troublesome execution
+    assert [r[1] for r in sorted(_depth_rows)] == [2 * k for k in DEPTHS]

@@ -1,0 +1,83 @@
+"""Theorem 2 — the general case: m servers, N+1 objects, partial
+replication.  The violation witness must appear for every topology a
+fast-claiming protocol is deployed on."""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.core import CAUSAL_VIOLATION, NO_MULTI_WRITE, check_impossibility_general
+
+TOPOLOGIES = [
+    # (objects, servers, replication)
+    (3, 3, 1),
+    (4, 3, 1),
+    (6, 3, 2),
+    (4, 4, 2),
+    (8, 4, 3),
+]
+
+_rows = []
+
+
+@pytest.mark.parametrize("n_objects,n_servers,replication", TOPOLOGIES)
+def test_general_violation(benchmark, n_objects, n_servers, replication):
+    objects = tuple(f"X{i}" for i in range(n_objects))
+    verdict = once(
+        benchmark,
+        check_impossibility_general,
+        "fastclaim",
+        objects=objects,
+        n_servers=n_servers,
+        replication=replication,
+        max_k=4,
+    )
+    assert verdict.outcome == CAUSAL_VIOLATION, verdict.describe()
+    assert verdict.witness.is_mixed()
+    _rows.append(
+        [
+            n_objects,
+            n_servers,
+            replication,
+            verdict.outcome,
+            len([v for v in verdict.witness.reads.values()]),
+        ]
+    )
+
+
+def test_general_restricted_protocol(benchmark):
+    verdict = once(
+        benchmark,
+        check_impossibility_general,
+        "cops_snow",
+        objects=("X0", "X1", "X2"),
+        n_servers=3,
+    )
+    assert verdict.outcome == NO_MULTI_WRITE
+
+
+def test_general_handshake_depth(benchmark):
+    verdict = once(
+        benchmark,
+        check_impossibility_general,
+        "handshake",
+        objects=("X0", "X1", "X2"),
+        n_servers=3,
+        max_k=20,
+        sync_hops=1,
+    )
+    assert verdict.outcome == CAUSAL_VIOLATION
+    assert verdict.forced_messages  # the ring forces server messages
+
+
+def test_topology_table(benchmark):
+    once(benchmark, lambda: None)
+    save_result(
+        "theorem2_topologies",
+        format_table(
+            ["objects", "servers", "replication", "outcome", "objects read"],
+            _rows,
+            title="Theorem 2 — partial replication topologies "
+            "(fastclaim, all caught)",
+        ),
+    )

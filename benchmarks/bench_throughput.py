@@ -1,0 +1,51 @@
+"""Simulated throughput: events per transaction and transactions per
+second of simulation, across the zoo.
+
+"Events per transaction" is the model-level cost (computation steps +
+deliveries the protocol needs per committed transaction) — the number
+that would translate into messages and CPU on a real deployment;
+transactions/second is this simulator's wall-clock processing rate, the
+baseline for all other benchmarks.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.protocols import build_system, protocol_names
+from repro.workloads import WorkloadSpec, run_workload
+
+PROTOCOLS = [p for p in sorted(protocol_names()) if p != "handshake"]
+
+_rows = {}
+
+
+def _run(protocol):
+    system = build_system(protocol, objects=("X0", "X1", "X2", "X3"), n_servers=2)
+    spec = WorkloadSpec(n_txns=200, read_ratio=0.8, read_size=(2, 3), seed=41)
+    hist = run_workload(system, spec)
+    return len(system.sim.trace) / max(1, len(hist.records))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_events_per_txn(benchmark, protocol):
+    ev_per_txn = once(benchmark, _run, protocol)
+    _rows[protocol] = ev_per_txn
+    benchmark.extra_info["events_per_txn"] = ev_per_txn
+
+
+def test_throughput_table(benchmark):
+    once(benchmark, lambda: None)
+    rows = [[p, f"{v:.1f}"] for p, v in sorted(_rows.items(), key=lambda kv: kv[1])]
+    save_result(
+        "throughput",
+        format_table(
+            ["protocol", "events per txn"],
+            rows,
+            title="Model-level cost per transaction (80% reads, 200 txns)",
+        ),
+    )
+    # fast-read designs process a read-dominated load with fewer events
+    # than the snapshot designs
+    assert _rows["cops_snow"] < _rows["wren"]
+    assert _rows["cops_snow"] < _rows["cure"]

@@ -1,0 +1,89 @@
+"""Write-to-visibility latency.
+
+Minimal progress (Definition 3) only requires writes to *eventually*
+become visible; how long that takes is a key quality axis the paper's
+related-work section dwells on (SwiftCloud/Eiger-PS achieve fast reads
+by letting visibility lag indefinitely).  This benchmark measures, per
+protocol, how many events pass between a write-only transaction's
+invocation and the first configuration in which a frozen-adversary
+probe observes all its values.
+"""
+
+import pytest
+
+from conftest import once, save_result
+from repro.analysis.tables import format_table
+from repro.core.visibility import values_visible
+from repro.protocols import build_system, get_protocol, protocol_names
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.txn.types import write_only_txn
+
+PROTOCOLS = sorted(protocol_names())
+
+_rows = []
+
+
+def _visibility_latency(protocol, **params):
+    system = build_system(
+        protocol,
+        objects=("X0", "X1"),
+        n_servers=2,
+        clients=("w", "probe"),
+        **params,
+    )
+    sim = system.sim
+    info = get_protocol(protocol)
+    if info.supports_wtx:
+        txn = write_only_txn({"X0": "a", "X1": "b"}, txid="t")
+        expected = {"X0": "a", "X1": "b"}
+        sim.invoke("w", txn)
+    else:
+        sim.invoke("w", write_only_txn({"X0": "a"}, txid="t0"))
+        sim.invoke("w", write_only_txn({"X1": "b"}, txid="t1"))
+        expected = {"X0": "a", "X1": "b"}
+    sched = RoundRobinScheduler()
+    events = 0
+    while events < 20_000:
+        if values_visible(sim, "probe", expected, system.service_pids):
+            return events
+        if not sched.tick(sim, pids=("w",) + tuple(system.service_pids)):
+            # quiescent: check once more, then report
+            if values_visible(sim, "probe", expected, system.service_pids):
+                return events
+            return None
+        events += 1
+    return None
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_visibility_latency(benchmark, protocol):
+    params = {"sync_hops": 3} if protocol == "handshake" else {}
+    events = once(benchmark, _visibility_latency, protocol, **params)
+    if protocol == "swiftcloud":
+        # the §4 model: a fresh reader never sees the write — visibility
+        # in the sense of Definition 2 is never reached
+        assert events is None
+        _rows.append([protocol, "∞ (never — §4 model)"])
+        return
+    assert events is not None, f"{protocol}: write never became visible"
+    _rows.append([protocol, events])
+    benchmark.extra_info["visibility_events"] = events
+
+
+def test_visibility_table(benchmark):
+    once(benchmark, lambda: None)
+    rows = sorted(_rows, key=lambda r: (isinstance(r[1], str), r[1] if not isinstance(r[1], str) else 0))
+    save_result(
+        "visibility_latency",
+        format_table(
+            ["protocol", "events until visible"],
+            rows,
+            title="Write-to-visibility latency (solo write, frozen-adversary "
+            "probe)",
+        ),
+    )
+    by = dict(_rows)
+    # shape: the fast strawman is (unsurprisingly) quickest; COPS-SNOW
+    # pays its readers check; handshake pays its 2K hops
+    assert by["fastclaim"] <= by["cops_snow"]
+    assert by["handshake"] > by["fastclaim"]

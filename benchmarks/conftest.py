@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one artifact of the paper (a table, a
+figure, a theorem run, or a quantified trade-off) and both *prints* it
+(run with ``-s`` to watch) and writes it under ``benchmarks/results/``
+so the EXPERIMENTS.md record can be refreshed from disk.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+@pytest.fixture
+def results():
+    return save_result
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight function once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""repro — an executable reproduction of
+
+    Didona, Fatourou, Guerraoui, Wang, Zwaenepoel.
+    "Distributed Transactional Systems Cannot Be Fast." SPAA 2019.
+
+The package provides:
+
+* :mod:`repro.sim` — the paper's asynchronous message-passing system
+  model as a deterministic, snapshot-able simulator;
+* :mod:`repro.txn` — transactions, histories, and the :class:`Store`
+  facade;
+* :mod:`repro.protocols` — seventeen protocol implementations covering
+  Table 1 (COPS, COPS-SNOW, Eiger, Orbe, GentleRain, Contrarian, Wren,
+  Cure, RAMP, RAMP-Small, Occult, Spanner-style, Calvin-style,
+  SwiftCloud-style, the paper's N+R+W sketch, and the impossible
+  "FastClaim"/"Handshake-K" strawmen), plus a geo-replicated COPS
+  deployment;
+* :mod:`repro.consistency` — causal-consistency, serializability and
+  read-atomicity checkers;
+* :mod:`repro.core` — the impossibility proof machinery made executable:
+  fast-ROT property monitors, visibility probes, the paper's execution
+  constructions and splices, and the Lemma 3 induction that produces
+  concrete counterexample witnesses;
+* :mod:`repro.workloads` and :mod:`repro.analysis` — workload generators,
+  metrics, and the Table/Figure renderers behind ``benchmarks/``.
+"""
+
+from repro.txn.api import Store
+from repro.txn.types import (
+    BOTTOM,
+    Transaction,
+    TxnRecord,
+    read_only_txn,
+    rw_txn,
+    write_only_txn,
+)
+from repro.protocols import build_system, protocol_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Store",
+    "BOTTOM",
+    "Transaction",
+    "TxnRecord",
+    "read_only_txn",
+    "rw_txn",
+    "write_only_txn",
+    "build_system",
+    "protocol_names",
+    "__version__",
+]

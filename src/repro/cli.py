@@ -1,0 +1,294 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                         # the protocol zoo
+    python -m repro theorem fastclaim            # run Theorem 1
+    python -m repro theorem fastclaim --general --servers 3 --objects 4
+    python -m repro table1                       # regenerate Table 1
+    python -m repro figure 3                     # regenerate a figure
+    python -m repro workload wren --txns 100     # run + characterize
+    python -m repro check cops_snow              # consistency spot-check
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _objects(n: int) -> tuple:
+    return tuple(f"X{i}" for i in range(n))
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.protocols import REGISTRY
+
+    rows = []
+    for name in sorted(REGISTRY):
+        info = REGISTRY[name]
+        paper = info.paper_row
+        rows.append(
+            [
+                name,
+                info.title,
+                f"{paper.rounds}/{paper.values}/{paper.nonblocking}",
+                "yes" if info.supports_wtx else "no",
+                info.consistency,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "system", "R/V/N (paper)", "WTX", "consistency"], rows
+        )
+    )
+    return 0
+
+
+def cmd_theorem(args: argparse.Namespace) -> int:
+    if args.general:
+        from repro.core import check_impossibility_general
+
+        verdict = check_impossibility_general(
+            args.protocol,
+            objects=_objects(args.objects),
+            n_servers=args.servers,
+            replication=args.replication,
+            max_k=args.max_k,
+            **_proto_params(args),
+        )
+    else:
+        from repro.core import check_impossibility
+
+        verdict = check_impossibility(
+            args.protocol, max_k=args.max_k, **_proto_params(args)
+        )
+    print(verdict.describe())
+    if verdict.fast_report is not None:
+        print(verdict.fast_report.describe())
+    return 0 if verdict.consistent_with_theorem else 1
+
+
+def _proto_params(args: argparse.Namespace) -> dict:
+    params = {}
+    if getattr(args, "sync_hops", None) is not None:
+        params["sync_hops"] = args.sync_hops
+    if getattr(args, "epsilon", None) is not None:
+        params["epsilon"] = args.epsilon
+    if getattr(args, "sync_every", None) is not None:
+        params["sync_every"] = args.sync_every
+    return params
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import characterize, render_table1
+    from repro.protocols import build_system, protocol_names
+    from repro.workloads import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec(
+        n_txns=args.txns,
+        read_ratio=args.read_ratio,
+        read_size=(2, 3),
+        seed=args.seed,
+    )
+    chars = []
+    for name in sorted(protocol_names()):
+        system = build_system(
+            name, objects=_objects(args.objects), n_servers=args.servers
+        )
+        hist = run_workload(system, spec)
+        chars.append(characterize(system, hist))
+        print(f"  measured {name} ({len(hist.records)} txns)", file=sys.stderr)
+    print(render_table1(chars, include_unimplemented=args.all_rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis import figure1, figure2, figure3
+
+    fig = {1: figure1, 2: figure2, 3: figure3}[args.number]
+    kwargs = {}
+    if args.number == 3:
+        kwargs["max_k"] = args.max_k
+    print(fig(args.protocol, **kwargs))
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.analysis import characterize
+    from repro.analysis.tables import format_table
+    from repro.consistency import check_history
+    from repro.protocols import build_system
+    from repro.workloads import WorkloadSpec, run_workload
+
+    system = build_system(
+        args.protocol,
+        objects=_objects(args.objects),
+        n_servers=args.servers,
+        **_proto_params(args),
+    )
+    spec = WorkloadSpec(
+        n_txns=args.txns,
+        read_ratio=args.read_ratio,
+        read_size=(2, 3),
+        seed=args.seed,
+    )
+    hist = run_workload(system, spec)
+    ch = characterize(system, hist)
+    row = ch.row()
+    print(
+        format_table(
+            list(row.keys()),
+            [list(row.values())],
+            title=f"{args.protocol}: {len(hist.records)} transactions",
+        )
+    )
+    print(
+        f"avg ROT latency: {ch.avg_rot_latency:.1f} events; "
+        f"value/meta bytes per ROT: {ch.avg_value_bytes:.0f}/"
+        f"{ch.avg_metadata_bytes:.0f}"
+    )
+    report = check_history(hist, level=system.info.consistency)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import Store
+    from repro.analysis import render_spacetime
+
+    store = Store(
+        protocol=args.protocol,
+        objects=_objects(args.objects),
+        n_servers=args.servers,
+        clients=("w", "r"),
+        seed=args.seed,
+        **_proto_params(args),
+    )
+    mark = store.system.sim.trace.mark()
+    writes = {f"X{i}": f"v{i}@w" for i in range(min(args.objects, 2))}
+    try:
+        store.write("w", writes)
+    except Exception:
+        for obj, val in writes.items():
+            store.write("w", {obj: val})
+    store.settle()
+    store.read("r", list(_objects(args.objects))[:2])
+    print(
+        render_spacetime(
+            store.system.sim.trace,
+            pids=("w", "r") + tuple(store.system.service_pids),
+            start=mark,
+        )
+    )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro import Store
+
+    store = Store(
+        protocol=args.protocol,
+        objects=_objects(args.objects),
+        n_servers=args.servers,
+        seed=args.seed,
+        **_proto_params(args),
+    )
+    store.write("c0", {"X0": "v1@c0"})
+    store.read("c1", ["X0", "X1"])
+    store.write("c1", {"X1": "v2@c1"})
+    store.read("c2", ["X0", "X1"])
+    report = store.check_consistency(exact=True)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of 'Distributed Transactional Systems "
+            "Cannot Be Fast' (SPAA 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the protocol zoo").set_defaults(fn=cmd_list)
+
+    t = sub.add_parser("theorem", help="run the impossibility check")
+    t.add_argument("protocol")
+    t.add_argument("--max-k", type=int, default=6)
+    t.add_argument("--general", action="store_true", help="Theorem 2 engine")
+    t.add_argument("--servers", type=int, default=3)
+    t.add_argument("--objects", type=int, default=3)
+    t.add_argument("--replication", type=int, default=1)
+    t.add_argument("--sync-hops", type=int, default=None)
+    t.add_argument("--epsilon", type=int, default=None)
+    t.add_argument("--sync-every", type=int, default=None)
+    t.set_defaults(fn=cmd_theorem)
+
+    tb = sub.add_parser("table1", help="regenerate Table 1")
+    tb.add_argument("--txns", type=int, default=120)
+    tb.add_argument("--read-ratio", type=float, default=0.7)
+    tb.add_argument("--seed", type=int, default=11)
+    tb.add_argument("--servers", type=int, default=2)
+    tb.add_argument("--objects", type=int, default=4)
+    tb.add_argument("--all-rows", action="store_true",
+                    help="include the paper's unimplemented rows")
+    tb.set_defaults(fn=cmd_table1)
+
+    f = sub.add_parser("figure", help="regenerate a figure (1, 2 or 3)")
+    f.add_argument("number", type=int, choices=(1, 2, 3))
+    f.add_argument("--protocol", default=None)
+    f.add_argument("--max-k", type=int, default=6)
+    f.set_defaults(fn=cmd_figure)
+
+    w = sub.add_parser("workload", help="run a workload and characterize")
+    w.add_argument("protocol")
+    w.add_argument("--txns", type=int, default=100)
+    w.add_argument("--read-ratio", type=float, default=0.7)
+    w.add_argument("--seed", type=int, default=0)
+    w.add_argument("--servers", type=int, default=2)
+    w.add_argument("--objects", type=int, default=4)
+    w.add_argument("--sync-hops", type=int, default=None)
+    w.add_argument("--epsilon", type=int, default=None)
+    w.add_argument("--sync-every", type=int, default=None)
+    w.set_defaults(fn=cmd_workload)
+
+    tr = sub.add_parser("trace", help="space-time diagram of a small scenario")
+    tr.add_argument("protocol")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--servers", type=int, default=2)
+    tr.add_argument("--objects", type=int, default=2)
+    tr.add_argument("--sync-hops", type=int, default=None)
+    tr.add_argument("--epsilon", type=int, default=None)
+    tr.add_argument("--sync-every", type=int, default=None)
+    tr.set_defaults(fn=cmd_trace)
+
+    c = sub.add_parser("check", help="quick consistency spot-check")
+    c.add_argument("protocol")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--servers", type=int, default=2)
+    c.add_argument("--objects", type=int, default=2)
+    c.add_argument("--sync-hops", type=int, default=None)
+    c.add_argument("--epsilon", type=int, default=None)
+    c.add_argument("--sync-every", type=int, default=None)
+    c.set_defaults(fn=cmd_check)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figure" and args.protocol is None:
+        args.protocol = "cops_snow" if args.number == 1 else "fastclaim"
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Read-atomicity checking (RAMP's consistency level).
+
+Read atomicity (Bailis et al., SIGMOD'14): transactions are visible
+all-or-nothing — a *fractured read* occurs when transaction ``T`` reads
+``W``'s write to one object but, for another object that ``W`` also
+wrote and ``T`` also read, observes a version *older* than ``W``'s.
+
+"Older" needs a version order.  Two sound sources are used:
+
+* if ``writer(u)`` causally precedes ``W`` (program order ∪ reads-from),
+  ``u`` is definitely older;
+* if ``writer(u)`` completed in real time before ``W`` was invoked,
+  ``u`` is definitely older.
+
+Concurrent writers are left unflagged (either order is admissible), so
+every reported fracture is genuine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.txn.history import History
+from repro.txn.types import BOTTOM, ObjectId, TxnRecord, Value
+
+
+@dataclass(frozen=True)
+class FracturedRead:
+    reader: str
+    sibling_txn: str  # the transaction read fractionally
+    obj_seen: ObjectId  # object where the sibling's write WAS observed
+    obj_missed: ObjectId  # object where it was missed
+    stale_value: Value
+
+    def describe(self) -> str:
+        return (
+            f"{self.reader} observed {self.sibling_txn}'s write to "
+            f"{self.obj_seen} but read the older {self.obj_missed}="
+            f"{self.stale_value!r}"
+        )
+
+
+def find_fractured_reads(history: History) -> List[FracturedRead]:
+    history.check_unique_values()
+    order = history.causal_order()
+    writers = history.writer_index()
+    by_id = history.by_txid()
+
+    def definitely_older(u_writer: Optional[TxnRecord], w: TxnRecord) -> bool:
+        if u_writer is None:  # ⊥ precedes every write
+            return True
+        if order.lt(u_writer.txid, w.txid):
+            return True
+        return u_writer.completed_at < w.invoked_at
+
+    fractures: List[FracturedRead] = []
+    for rec in history.records:
+        for obj, val in rec.reads.items():
+            if val is BOTTOM:
+                continue
+            w = writers.get((obj, val))
+            if w is None:
+                continue
+            for sibling_obj in w.txn.write_set:
+                if sibling_obj == obj or sibling_obj not in rec.reads:
+                    continue
+                got = rec.reads[sibling_obj]
+                if got == w.txn.write_map[sibling_obj]:
+                    continue
+                got_writer = (
+                    None if got is BOTTOM else writers.get((sibling_obj, got))
+                )
+                # reading a *newer* sibling version is allowed under RA
+                if got_writer is not None and not definitely_older(got_writer, w):
+                    continue
+                if definitely_older(got_writer, w):
+                    fractures.append(
+                        FracturedRead(
+                            reader=rec.txid,
+                            sibling_txn=w.txid,
+                            obj_seen=obj,
+                            obj_missed=sibling_obj,
+                            stale_value=got,
+                        )
+                    )
+    return fractures
+
+
+def check_read_atomic(history: History) -> bool:
+    return not find_fractured_reads(history)

@@ -1,0 +1,80 @@
+"""One-call consistency verdicts for a history at a claimed level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.consistency.atomicity import find_fractured_reads
+from repro.consistency.causal import CausalCheckResult, check_causal
+from repro.consistency.serializability import check_serializable
+from repro.consistency.sessions import check_sessions
+from repro.txn.history import History
+
+#: consistency levels, weakest → strongest (as relevant to the paper:
+#: every level at or above "causal" is in scope of the theorem)
+LEVELS = ("read-atomic", "causal", "serializable", "strict-serializable")
+
+
+@dataclass
+class ConsistencyReport:
+    level: str
+    ok: bool
+    conclusive: bool
+    violations: List[Any] = field(default_factory=list)
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        sure = "" if self.conclusive else " (inconclusive)"
+        lines = [f"[{status}{sure}] {self.level}: {self.detail}".rstrip(": ")]
+        for v in self.violations[:10]:
+            desc = v.describe() if hasattr(v, "describe") else str(v)
+            lines.append(f"  - {desc}")
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+def check_history(
+    history: History, level: str = "causal", exact: Optional[bool] = None
+) -> ConsistencyReport:
+    """Check ``history`` against a claimed consistency ``level``."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown level {level!r}; expected one of {LEVELS}")
+    if level == "read-atomic":
+        fractures = find_fractured_reads(history)
+        return ConsistencyReport(
+            level=level,
+            ok=not fractures,
+            conclusive=True,
+            violations=list(fractures),
+            detail="" if not fractures else fractures[0].describe(),
+        )
+    if level == "causal":
+        res: CausalCheckResult = check_causal(history, exact=exact)
+        return ConsistencyReport(
+            level=level,
+            ok=res.consistent,
+            conclusive=res.conclusive,
+            violations=list(res.anomalies),
+            detail=res.detail,
+        )
+    strict = level == "strict-serializable"
+    res2 = check_serializable(history, strict=strict)
+    # any serializable level is also causally consistent; surface causal
+    # anomalies as extra diagnostics when the serialization search fails
+    violations: List[Any] = []
+    if not res2.serializable and res2.conclusive:
+        causal_res = check_causal(history, exact=False)
+        violations = list(causal_res.anomalies)
+    return ConsistencyReport(
+        level=level,
+        ok=res2.serializable,
+        conclusive=res2.conclusive,
+        violations=violations,
+        detail=res2.detail,
+    )

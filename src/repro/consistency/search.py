@@ -1,0 +1,136 @@
+"""The serialization-search engine shared by the exact checkers.
+
+Both the causal-consistency checker (Definition 1: one serialization per
+client, respecting the causal order, legal for that client's
+transactions) and the (strict) serializability checker (one global
+serialization, legal for everyone) reduce to the same search problem:
+
+    find a linear extension of a given partial order over the
+    transaction records such that every record in a designated *legality
+    set* reads, for each object, exactly the value of the last preceding
+    write (or the initial value ⊥).
+
+The search is a DFS over prefixes with memoization on
+``(placed-set, last-written-values)`` — two prefixes that placed the same
+transactions and left objects in the same state have identical futures.
+Histories here are small (the checkers cap the input size), so the
+exponential worst case is acceptable; a step budget turns pathological
+instances into an explicit *inconclusive* answer rather than a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.txn.types import BOTTOM, ObjectId, TxnRecord, Value
+
+
+@dataclass
+class SearchResult:
+    found: bool
+    order: Optional[List[str]] = None  # txids, when found
+    steps: int = 0
+    exhausted_budget: bool = False
+
+    @property
+    def conclusive(self) -> bool:
+        return self.found or not self.exhausted_budget
+
+
+def find_legal_serialization(
+    records: Sequence[TxnRecord],
+    edges: Iterable[Tuple[str, str]],
+    legality_clients: Optional[Set[str]] = None,
+    max_steps: int = 200_000,
+) -> SearchResult:
+    """Search for a legal linear extension.
+
+    ``edges`` is the partial order to respect (pairs of txids).
+    ``legality_clients`` restricts the read-legality requirement to the
+    records of those clients (``None`` = all records must be legal).
+    """
+    n = len(records)
+    if n == 0:
+        return SearchResult(found=True, order=[])
+    idx = {r.txid: i for i, r in enumerate(records)}
+    preds: List[int] = [0] * n  # predecessor counts
+    succs: List[List[int]] = [[] for _ in range(n)]
+    seen_edges: Set[Tuple[int, int]] = set()
+    for a, b in edges:
+        ia, ib = idx.get(a), idx.get(b)
+        if ia is None or ib is None or ia == ib:
+            continue
+        if (ia, ib) in seen_edges:
+            continue
+        seen_edges.add((ia, ib))
+        succs[ia].append(ib)
+        preds[ib] += 1
+
+    must_be_legal = [
+        legality_clients is None or r.client in legality_clients for r in records
+    ]
+
+    objects: List[ObjectId] = sorted(
+        {o for r in records for o in r.txn.objects}
+    )
+    obj_idx = {o: i for i, o in enumerate(objects)}
+
+    # state: bitmask of placed records + tuple of last-written values
+    init_state: Tuple[Value, ...] = tuple(BOTTOM for _ in objects)
+    failed: Set[Tuple[int, Tuple[Value, ...]]] = set()
+    steps = 0
+    budget_hit = False
+    order_out: List[int] = []
+
+    def legal_here(rec: TxnRecord, state: Tuple[Value, ...]) -> bool:
+        for obj, val in rec.reads.items():
+            if state[obj_idx[obj]] != val:
+                return False
+        return True
+
+    def apply_writes(rec: TxnRecord, state: Tuple[Value, ...]) -> Tuple[Value, ...]:
+        if not rec.txn.writes:
+            return state
+        lst = list(state)
+        for obj, val in rec.txn.writes:
+            lst[obj_idx[obj]] = val
+        return tuple(lst)
+
+    def dfs(mask: int, state: Tuple[Value, ...], pred_count: List[int]) -> bool:
+        nonlocal steps, budget_hit
+        if mask == (1 << n) - 1:
+            return True
+        key = (mask, state)
+        if key in failed:
+            return False
+        steps += 1
+        if steps > max_steps:
+            budget_hit = True
+            return False
+        for i in range(n):
+            if mask & (1 << i) or pred_count[i] > 0:
+                continue
+            rec = records[i]
+            if must_be_legal[i] and not legal_here(rec, state):
+                continue
+            for j in succs[i]:
+                pred_count[j] -= 1
+            order_out.append(i)
+            ok = dfs(mask | (1 << i), apply_writes(rec, state), pred_count)
+            if ok:
+                return True
+            order_out.pop()
+            for j in succs[i]:
+                pred_count[j] += 1
+            if budget_hit:
+                return False
+        failed.add(key)
+        return False
+
+    found = dfs(0, init_state, preds)
+    if found:
+        return SearchResult(
+            found=True, order=[records[i].txid for i in order_out], steps=steps
+        )
+    return SearchResult(found=False, steps=steps, exhausted_budget=budget_hit)

@@ -1,0 +1,135 @@
+"""Session-guarantee checkers.
+
+The four classic session guarantees, each checked per client against
+the causal order derived from the history (unique written values):
+
+* **read your writes** — after writing ``X=v``, the client never reads a
+  version of ``X`` causally older than its own write;
+* **monotonic reads** — the client never reads a version of ``X``
+  causally older than one it previously read;
+* **monotonic writes** — a client's writes to the same object are
+  installed in program order (derivable here because timestamps refine
+  causality; we check no later read anywhere observes them inverted);
+* **writes follow reads** — a write issued after reading ``X=v`` is
+  never ordered causally before ``v``'s writer.
+
+Causal consistency implies all four; these targeted checkers produce
+sharper diagnostics than the whole-history checkers when a protocol's
+client-side session logic (caches, dependency tracking) is broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.txn.history import History
+from repro.txn.types import BOTTOM, ObjectId, TxnRecord, Value
+
+
+@dataclass(frozen=True)
+class SessionViolation:
+    guarantee: str
+    client: str
+    txid: str
+    obj: ObjectId
+    detail: str
+
+
+def _writer_of(history: History):
+    writers = history.writer_index()
+
+    def get(obj: ObjectId, val: Value) -> Optional[TxnRecord]:
+        if val is BOTTOM:
+            return None
+        return writers.get((obj, val))
+
+    return get
+
+
+def check_sessions(history: History) -> List[SessionViolation]:
+    history.check_unique_values()
+    order = history.causal_order()
+    writer_of = _writer_of(history)
+    violations: List[SessionViolation] = []
+
+    for client in history.clients():
+        # the freshest version of each object this client has observed:
+        # obj -> (value, writer txid or None, how: "read"/"write")
+        seen: Dict[ObjectId, Tuple[Value, Optional[str], str]] = {}
+        for rec in history.per_client(client):
+            for obj, val in rec.reads.items():
+                w = writer_of(obj, val)
+                wid = w.txid if w else None
+                if obj in seen:
+                    prev_val, prev_wid, how = seen[obj]
+                    if prev_val != val:
+                        # stale iff the new read is causally older
+                        stale = (
+                            wid is None and prev_wid is not None
+                        ) or (
+                            wid is not None
+                            and prev_wid is not None
+                            and order.lt(wid, prev_wid)
+                        )
+                        if stale:
+                            guarantee = (
+                                "read-your-writes" if how == "write" else "monotonic-reads"
+                            )
+                            violations.append(
+                                SessionViolation(
+                                    guarantee=guarantee,
+                                    client=client,
+                                    txid=rec.txid,
+                                    obj=obj,
+                                    detail=(
+                                        f"{client} observed {obj}={prev_val!r} "
+                                        f"({how}) then read older {obj}={val!r} "
+                                        f"in {rec.txid}"
+                                    ),
+                                )
+                            )
+                seen[obj] = (val, wid, "read")
+            for obj, val in rec.txn.writes:
+                # writes-follow-reads: this write must not be causally
+                # before anything the client already observed for obj
+                if obj in seen:
+                    _, prev_wid, _ = seen[obj]
+                    if prev_wid is not None and order.lt(rec.txid, prev_wid):
+                        violations.append(
+                            SessionViolation(
+                                guarantee="writes-follow-reads",
+                                client=client,
+                                txid=rec.txid,
+                                obj=obj,
+                                detail=(
+                                    f"{client}'s write {rec.txid} of {obj} is "
+                                    f"causally before previously observed "
+                                    f"writer {prev_wid}"
+                                ),
+                            )
+                        )
+                seen[obj] = (val, rec.txid, "write")
+
+        # monotonic writes: the client's own writes to one object must not
+        # be causally inverted
+        my_writes: Dict[ObjectId, List[TxnRecord]] = {}
+        for rec in history.per_client(client):
+            for obj, _ in rec.txn.writes:
+                my_writes.setdefault(obj, []).append(rec)
+        for obj, recs in my_writes.items():
+            for earlier, later in zip(recs, recs[1:]):
+                if order.lt(later.txid, earlier.txid):
+                    violations.append(
+                        SessionViolation(
+                            guarantee="monotonic-writes",
+                            client=client,
+                            txid=later.txid,
+                            obj=obj,
+                            detail=(
+                                f"{client}'s later write {later.txid} ordered "
+                                f"causally before earlier write {earlier.txid}"
+                            ),
+                        )
+                    )
+    return violations

@@ -1,0 +1,228 @@
+"""Bounded model checking: the brute-force complement to the proof engine.
+
+The proof-guided engine (:mod:`repro.core.induction`) knows *which*
+adversary schedule exposes a protocol; this module instead enumerates
+**every** adversary schedule of a small scenario — a depth-first search
+over the tree of enabled events, using configuration snapshots to branch
+and configuration fingerprints to prune revisits — and checks every
+completed history for causal anomalies.
+
+On a two-server scenario with one multi-object write and one fast ROT it
+*proves* (within the scope) that COPS-SNOW has no violating schedule and
+*finds* FastClaim's violating schedules without being told where to look.
+The benchmark compares the two approaches: the model checker visits
+hundreds of states; the proof engine constructs one splice.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.consistency.causal import find_causal_anomalies
+from repro.protocols.base import System
+from repro.sim.executor import Simulation
+from repro.sim.messages import ProcessId
+from repro.txn.client import ClientBase
+from repro.txn.history import build_history
+from repro.txn.types import Transaction
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an exhaustive exploration."""
+
+    protocol: str
+    states_visited: int
+    schedules_completed: int
+    truncated: int  # branches cut by the depth bound
+    violations: List[Tuple[List[str], List]] = field(default_factory=list)
+
+    @property
+    def violation_found(self) -> bool:
+        return bool(self.violations)
+
+    def describe(self) -> str:
+        head = (
+            f"{self.protocol}: explored {self.states_visited} states, "
+            f"{self.schedules_completed} complete schedules, "
+            f"{self.truncated} truncated"
+        )
+        if not self.violations:
+            return head + " — no causal violation in scope"
+        sched, anomalies = self.violations[0]
+        lines = [head + f" — {len(self.violations)} violating schedule(s)"]
+        lines.append("  first violating schedule:")
+        for s in sched:
+            lines.append(f"    {s}")
+        for a in anomalies[:2]:
+            lines.append(f"  anomaly: {a.describe()}")
+        return "\n".join(lines)
+
+
+def _fingerprint(sim: Simulation) -> bytes:
+    """A configuration hash for revisit pruning.
+
+    Pickle is stable here because all process state is plain Python data
+    and the simulation is deterministic.
+    """
+    return pickle.dumps(
+        (
+            sorted(
+                (pid, pickle.dumps(proc.__dict__))
+                for pid, proc in sim.processes.items()
+            ),
+            sorted(
+                (link, tuple(m.msg_id for m in q))
+                for link, q in sim.network.in_transit.items()
+            ),
+            sorted((pid, tuple(m.msg_id for m in msgs))
+                   for pid, msgs in sim.network.income.items()),
+        )
+    )
+
+
+def _enabled_events(sim: Simulation, pids: Sequence[ProcessId]):
+    """All enabled (label, apply) choices for the adversary."""
+    events = []
+    allowed = set(pids)
+    for m in sim.network.pending():
+        if m.dst in allowed:
+            events.append(
+                (
+                    f"deliver {m.src}->{m.dst}#{m.link_seq}",
+                    ("d", m.src, m.dst, m.link_seq),
+                )
+            )
+    for pid in pids:
+        proc = sim.processes[pid]
+        if sim.network.income[pid] or proc.wants_step():
+            events.append((f"step {pid}", ("s", pid)))
+    return events
+
+
+def explore(
+    system: System,
+    script: Sequence[Tuple[str, Transaction]],
+    max_depth: int = 40,
+    max_states: int = 50_000,
+    first_violation_only: bool = True,
+    checker: str = "causal",
+) -> ExplorationResult:
+    """Exhaustively explore every schedule of ``script`` on ``system``.
+
+    ``script`` is a list of (client, transaction) pairs, all invoked up
+    front; the adversary then chooses every interleaving of steps and
+    deliveries.  Each maximal (quiescent) schedule's history is checked
+    with ``checker`` — ``"causal"`` (Definition 1 anomalies) or
+    ``"read-atomic"`` (fractured reads).  The latter supports the
+    paper's closing question about the weakest consistency condition for
+    which the impossibility holds: it lets the explorer hunt for
+    schedules where a "fast" protocol breaks read atomicity, a strictly
+    weaker level than causal consistency.
+    """
+    sim = system.sim
+    pids = tuple(system.clients) + tuple(system.service_pids)
+    for client, txn in script:
+        sim.invoke(client, txn)
+
+    result = ExplorationResult(protocol=system.info.name, states_visited=0,
+                               schedules_completed=0, truncated=0)
+    seen: Set[bytes] = set()
+    trail: List[str] = []
+
+    def all_done() -> bool:
+        return all(
+            isinstance(p, ClientBase) and p.current is None and not p.pending
+            for p in (sim.processes[c] for c in system.clients)
+        )
+
+    if checker == "causal":
+        find_anomalies = find_causal_anomalies
+    elif checker == "read-atomic":
+        from repro.consistency.atomicity import find_fractured_reads
+
+        find_anomalies = find_fractured_reads
+    else:
+        raise ValueError(f"unknown checker {checker!r}")
+
+    def check_leaf() -> None:
+        result.schedules_completed += 1
+        hist = build_history(sim, clients=system.clients)
+        anomalies = find_anomalies(hist)
+        if anomalies:
+            result.violations.append((list(trail), anomalies))
+
+    def dfs(depth: int) -> bool:
+        """Returns True to abort the whole search (first violation)."""
+        result.states_visited += 1
+        if result.states_visited > max_states:
+            result.truncated += 1
+            return False
+        events = _enabled_events(sim, pids)
+        if not events:
+            if all_done():
+                check_leaf()
+                return first_violation_only and result.violation_found
+            return False  # stuck without finishing: not a legal maximal run
+        if depth >= max_depth:
+            result.truncated += 1
+            return False
+        fp = _fingerprint(sim)
+        if fp in seen:
+            return False
+        seen.add(fp)
+        for label, action in events:
+            snap = sim.snapshot()
+            if action[0] == "d":
+                sim.deliver(action[1], action[2], action[3])
+            else:
+                sim.step(action[1])
+            trail.append(label)
+            abort = dfs(depth + 1)
+            trail.pop()
+            sim.restore(snap)
+            if abort:
+                return True
+        return False
+
+    dfs(0)
+    return result
+
+
+def explore_write_read_race(
+    protocol: str,
+    max_depth: int = 40,
+    max_states: int = 50_000,
+    checker: str = "causal",
+    **params,
+) -> ExplorationResult:
+    """The canonical scenario: the theorem's write racing a fast ROT.
+
+    Builds the Figure-1 style configuration (initial values written and
+    read by the writer client), then explores every interleaving of a
+    multi-object write transaction with one read-only transaction.
+    Protocols without write transactions use two single writes instead
+    (a causal chain through the writing client).
+    """
+    from repro.core.setup import prepare_theorem_system
+    from repro.protocols import get_protocol
+    from repro.txn.types import read_only_txn, write_only_txn
+
+    tsys = prepare_theorem_system(protocol, n_probes=2, **params)
+    system = tsys.system
+    if get_protocol(protocol).supports_wtx:
+        script = [
+            (tsys.cw, write_only_txn(dict(tsys.new_values), txid="Tw")),
+            (tsys.probes[0], read_only_txn(tsys.objects, txid="Tr")),
+        ]
+    else:
+        script = [
+            (tsys.cw, write_only_txn({"X0": tsys.new_values["X0"]}, txid="Tw0")),
+            (tsys.cw, write_only_txn({"X1": tsys.new_values["X1"]}, txid="Tw1")),
+            (tsys.probes[0], read_only_txn(tsys.objects, txid="Tr")),
+        ]
+    return explore(
+        system, script, max_depth=max_depth, max_states=max_states, checker=checker
+    )

@@ -1,0 +1,372 @@
+"""The Lemma 3 induction: constructing the troublesome execution.
+
+Round ``k`` runs the write-only transaction ``T_w`` solo from
+``C_{k-1}`` under a fair adversary, watching for the *necessary message*
+``ms_k``:
+
+* **explicit** — a message from ``p_{k%2}`` to ``p_{(k-1)%2}``, or
+* **implicit** — a message from ``p_{k%2}`` to ``c_w`` such that, after
+  consuming it, ``c_w`` sends a message to ``p_{(k-1)%2}``.
+
+Claim 1 of the lemma says one of these must occur before the written
+values become visible; claim 2 says that at the cut ``C_k`` (right after
+``ms_k`` is sent) the values are still invisible.  The engine checks
+both *operationally*:
+
+* if the values become visible with no ``ms_k`` (claim 1's premise
+  violated — e.g. FastClaim), it builds the paper's γ: σ_old from
+  ``C_{k-1}``, the spliced β_new, σ_new — and the resulting fast ROT
+  returns a mix of old and new values: a causal-consistency violation
+  witness;
+* if at ``C_k`` some value is already visible (claim 2's premise
+  violated), it builds δ the same way with ρ_new;
+* otherwise it advances to round ``k+1``; reaching ``max_k`` with a
+  forced message every round is the troublesome execution materialized
+  (``UNBOUNDED_VISIBILITY``).
+
+Every splice is self-validating: the witness is only accepted if the
+spliced execution — a legal protocol execution assembled purely from
+recorded commands — actually produced the mixed read, and the causal
+checker confirms the anomaly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.consistency.causal import find_causal_anomalies
+from repro.core.constructions import (
+    ConstructionError,
+    finish_with_new,
+    run_sigma_old,
+)
+from repro.core.setup import TheoremSystem
+from repro.core.splicing import RecordedFragment, SpliceError, splice_new
+from repro.core.visibility import probe_read
+from repro.core.witness import (
+    CAUSAL_VIOLATION,
+    INCONCLUSIVE,
+    STALLED,
+    UNBOUNDED_VISIBILITY,
+    MixedReadWitness,
+    TheoremVerdict,
+)
+from repro.sim.executor import Configuration
+from repro.sim.replay import ReplayError
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.trace import StepEvent
+from repro.txn.history import History, build_history
+from repro.txn.types import TxnRecord
+
+
+@dataclass
+class MsDetector:
+    """Watches one round's trace for the necessary message ``ms_k``."""
+
+    cw: str
+    old_server: str  # p_{k%2}
+    new_server: str  # p_{(k-1)%2}
+    consumed_from_old: bool = False
+    found: Optional[str] = None  # description, once detected
+
+    def observe(self, event) -> Optional[str]:
+        if self.found is not None or not isinstance(event, StepEvent):
+            return self.found
+        if event.pid == self.cw:
+            if any(m.src == self.old_server for m in event.received):
+                self.consumed_from_old = True
+            if self.consumed_from_old and any(
+                m.dst == self.new_server for m in event.sent
+            ):
+                self.found = (
+                    f"implicit: {self.old_server} -> {self.cw} -> {self.new_server}"
+                )
+        elif event.pid == self.old_server:
+            if any(m.dst == self.new_server for m in event.sent):
+                self.found = f"explicit: {self.old_server} -> {self.new_server}"
+        return self.found
+
+
+def _witness_history(tsys: TheoremSystem, reader_record: TxnRecord) -> History:
+    """The history of the spliced execution, with ``T_w`` closed off.
+
+    β_new drops ``c_w``'s completing steps, so ``T_w`` may be active at
+    the end of γ; the paper's ``comm(H)`` closure adds the missing write
+    responses — here, a synthesized record for ``T_w``.
+    """
+    hist = build_history(tsys.sim)
+    if not any(r.txid == "Tw" for r in hist.records):
+        hist.records.append(
+            TxnRecord(
+                txn=tsys.tw(),
+                client=tsys.cw,
+                reads={},
+                invoked_at=10**9,
+                completed_at=10**9 + 1,
+            )
+        )
+    if not any(r.txid == reader_record.txid for r in hist.records):
+        hist.records.append(reader_record)
+    return hist
+
+
+def build_splice_witness(
+    tsys: TheoremSystem,
+    start: Configuration,
+    fragment: RecordedFragment,
+    new_server: str,
+    k: int,
+    construction: str,
+) -> MixedReadWitness:
+    """Assemble γ (or δ) from ``start`` and return its witness.
+
+    Raises :class:`SpliceError`/:class:`ConstructionError` when the
+    protocol broke a premise mid-splice.
+    """
+    sim = tsys.sim
+    sim.restore(start)
+    reader = tsys.probes[1]
+    old_servers = [s for s in tsys.servers if s != new_server]
+    sigma = run_sigma_old(
+        sim,
+        reader,
+        tsys.objects,
+        old_servers=old_servers,
+        new_servers=[new_server],
+        txid=f"Tr_{construction}{k}",
+    )
+    beta_new = splice_new(fragment, tsys.cw, new_server, tsys.servers)
+    try:
+        sim.replay(beta_new, strict=True)
+    except ReplayError as exc:
+        raise SpliceError(
+            f"replay of {construction}_new failed (a splice premise did not "
+            f"hold): {exc}"
+        ) from exc
+    record = finish_with_new(sim, sigma)
+    witness = MixedReadWitness(
+        reader=reader,
+        reads=dict(record.reads),
+        old_values=dict(tsys.init_values),
+        new_values=dict(tsys.new_values),
+        construction=construction,
+        k=k,
+    )
+    if witness.is_mixed():
+        witness.anomalies = find_causal_anomalies(_witness_history(tsys, record))
+    return witness
+
+
+@dataclass
+class InductionConfig:
+    max_k: int = 8
+    solo_budget: int = 30_000
+    probe_every: int = 25
+
+
+def run_induction(
+    tsys: TheoremSystem, config: Optional[InductionConfig] = None
+) -> TheoremVerdict:
+    """Run the Lemma 3 induction against ``tsys`` (two-server form)."""
+    cfg = config or InductionConfig()
+    sim = tsys.sim
+    if tsys.c0 is None:
+        raise ValueError("theorem system not prepared (no C0)")
+    servers = tsys.servers
+    if len(servers) != 2:
+        raise ValueError(
+            "run_induction is the two-server Theorem 1 engine; use "
+            "repro.core.general for the m-server / partial-replication case"
+        )
+    protocol = tsys.system.info.name
+    prev = tsys.c0
+    invoked = False
+    forced: List[str] = []
+
+    for k in range(1, cfg.max_k + 1):
+        p_old = servers[k % 2]
+        p_new = servers[(k - 1) % 2]
+        sim.restore(prev)
+        fragment = RecordedFragment([], [])
+        log_mark, trace_mark = sim.log_mark(), sim.trace.mark()
+        if not invoked:
+            sim.invoke(tsys.cw, tsys.tw())
+            invoked = True
+        detector = MsDetector(cw=tsys.cw, old_server=p_old, new_server=p_new)
+        # replay detection over anything already recorded (the invoke)
+        for ev in sim.trace.events[trace_mark:]:
+            detector.observe(ev)
+
+        sched = RoundRobinScheduler()
+        solo = (tsys.cw,) + tuple(servers)
+        events_run = 0
+        ms_desc: Optional[str] = None
+        visible_both = False
+        quiescent = False
+
+        def capture() -> Tuple[int, int]:
+            nonlocal log_mark, trace_mark
+            fragment.extend(sim.log[log_mark:], sim.trace.events[trace_mark:])
+            log_mark, trace_mark = sim.log_mark(), sim.trace.mark()
+            return log_mark, trace_mark
+
+        def probe_now() -> Optional[Dict]:
+            nonlocal log_mark, trace_mark
+            capture()
+            reads = probe_read(
+                sim, tsys.probes[0], tsys.objects, tsys.service_pids, restore=True
+            )
+            # drop the probe's log/trace pollution from future captures
+            log_mark, trace_mark = sim.log_mark(), sim.trace.mark()
+            return reads
+
+        while events_run < cfg.solo_budget:
+            progressed = sched.tick(sim, pids=solo)
+            if progressed:
+                events_run += 1
+                ms_desc = detector.observe(sim.trace.events[-1])
+                if ms_desc is not None:
+                    break
+            if not progressed or events_run % cfg.probe_every == 0:
+                reads = probe_now()
+                if reads is not None and all(
+                    reads.get(o) == v for o, v in tsys.new_values.items()
+                ):
+                    visible_both = True
+                    break
+                if not progressed:
+                    quiescent = True
+                    break
+
+        capture()
+
+        if ms_desc is None and visible_both:
+            # claim 1's premise is violated: the values became visible with
+            # no necessary message — build γ and exhibit the mixed read.
+            return try_splice_candidates(
+                tsys, prev, fragment, [p_new, p_old], k, "gamma", forced
+            )
+        if ms_desc is None and quiescent:
+            return TheoremVerdict(
+                protocol=protocol,
+                outcome=STALLED,
+                k_reached=k,
+                detail=(
+                    "T_w executing solo reached quiescence with its values "
+                    "invisible: minimal progress (Definition 3) violated"
+                ),
+                forced_messages=forced,
+            )
+        if ms_desc is None:
+            return TheoremVerdict(
+                protocol=protocol,
+                outcome=INCONCLUSIVE,
+                k_reached=k,
+                detail=f"solo budget exhausted in round {k}",
+                forced_messages=forced,
+            )
+
+        # ms_k found: C_k is the configuration right after its send
+        forced.append(f"k={k}: {ms_desc}")
+        c_k = sim.snapshot()
+        reads = probe_read(sim, tsys.probes[0], tsys.objects, tsys.service_pids, restore=True)
+        visible_objs = [
+            o
+            for o, v in tsys.new_values.items()
+            if reads is not None and reads.get(o) == v
+        ]
+        if visible_objs:
+            # claim 2's premise is violated: a value is visible at C_k —
+            # build δ from ρ = α'_k and exhibit the mixed read.  The best
+            # "new" role is the server actually holding a visible value.
+            candidates = [tsys.primary(o) for o in visible_objs]
+            candidates += [p for p in (p_new, p_old) if p not in candidates]
+            return try_splice_candidates(
+                tsys, prev, fragment, candidates, k, "delta", forced
+            )
+        prev = c_k
+
+    return TheoremVerdict(
+        protocol=protocol,
+        outcome=UNBOUNDED_VISIBILITY,
+        k_reached=cfg.max_k,
+        detail=(
+            f"every round up to k={cfg.max_k} forced another necessary "
+            "message while T_w's values stayed invisible — the troublesome "
+            "execution of Lemma 3, materialized"
+        ),
+        forced_messages=forced,
+    )
+
+
+def try_splice_candidates(
+    tsys: TheoremSystem,
+    start: Configuration,
+    fragment: RecordedFragment,
+    candidates: Sequence[str],
+    k: int,
+    construction: str,
+    forced: List[str],
+) -> TheoremVerdict:
+    """Try each candidate ``p`` role until a splice yields a mixed read."""
+    last: Optional[TheoremVerdict] = None
+    seen = set()
+    for p_new in candidates:
+        if p_new in seen:
+            continue
+        seen.add(p_new)
+        verdict = _conclude_with_splice(
+            tsys, start, fragment, p_new, k, construction, forced
+        )
+        if verdict.outcome == CAUSAL_VIOLATION:
+            return verdict
+        last = verdict
+    assert last is not None
+    return last
+
+
+def _conclude_with_splice(
+    tsys: TheoremSystem,
+    start: Configuration,
+    fragment: RecordedFragment,
+    p_new: str,
+    k: int,
+    construction: str,
+    forced: List[str],
+) -> TheoremVerdict:
+    protocol = tsys.system.info.name
+    try:
+        witness = build_splice_witness(tsys, start, fragment, p_new, k, construction)
+    except (SpliceError, ConstructionError) as exc:
+        return TheoremVerdict(
+            protocol=protocol,
+            outcome=INCONCLUSIVE,
+            k_reached=k,
+            detail=f"splice failed: {exc}",
+            forced_messages=forced,
+        )
+    if witness.is_mixed():
+        return TheoremVerdict(
+            protocol=protocol,
+            outcome=CAUSAL_VIOLATION,
+            k_reached=k,
+            witness=witness,
+            detail=(
+                "the spliced execution made a fast ROT return a mix of old "
+                "and new values (Lemma 1 contradiction): the protocol is "
+                "not causally consistent"
+            ),
+            forced_messages=forced,
+        )
+    return TheoremVerdict(
+        protocol=protocol,
+        outcome=INCONCLUSIVE,
+        k_reached=k,
+        witness=witness,
+        detail=(
+            f"splice {construction} completed but the read was not mixed: "
+            f"{witness.reads}"
+        ),
+        forced_messages=forced,
+    )

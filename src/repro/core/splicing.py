@@ -1,0 +1,102 @@
+"""The β → β_new (and ρ → ρ_new) subsequence machinery.
+
+Given a recorded solo fragment β (commands and trace events in lockstep,
+as produced by one induction round), the splice computes the paper's
+
+* ``β'_p`` — the shortest prefix of β containing every message ``c_w``
+  sends to the *new* server ``p`` (the one that will answer with the
+  written value);
+* ``β_p``  — ``β'_p`` with every step of the other servers removed;
+* ``β_s``  — the remaining suffix restricted to ``p``'s steps (and the
+  deliveries addressed to ``p``);
+* ``β_new = β_p · β_s``.
+
+Replaying ``β_new`` from ``RC(C_{k-1}, σ_old)`` is the executable form
+of the paper's legality argument: under the claim's premises (no
+server→server message from the removed side, no implicit message via
+``c_w``) every delivery surviving the filter addresses a message that
+exists, and the configurations reached are indistinguishable to ``c_w``
+and ``p`` from the unspliced ones.  A :class:`SpliceError` therefore
+marks a broken premise, not an engine fault — it is surfaced as a
+diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.sim.messages import ProcessId
+from repro.sim.replay import Command, DeliverCmd, InvokeCmd, StepCmd
+from repro.sim.trace import StepEvent, TraceEvent
+
+
+class SpliceError(RuntimeError):
+    """A splice premise did not hold (see module docstring)."""
+
+
+@dataclass
+class RecordedFragment:
+    """A command list with its aligned trace events (one event per command)."""
+
+    commands: List[Command]
+    events: List[TraceEvent]
+
+    def __post_init__(self) -> None:
+        if len(self.commands) != len(self.events):
+            raise ValueError(
+                f"misaligned fragment: {len(self.commands)} commands vs "
+                f"{len(self.events)} events"
+            )
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def extend(self, commands: Sequence[Command], events: Sequence[TraceEvent]) -> None:
+        self.commands.extend(commands)
+        self.events.extend(events)
+        if len(self.commands) != len(self.events):
+            raise ValueError("misaligned fragment extension")
+
+
+def _keep_filter(
+    commands: Sequence[Command], keep: Set[ProcessId]
+) -> List[Command]:
+    """Steps/invokes of kept processes; deliveries addressed to them."""
+    out: List[Command] = []
+    for c in commands:
+        if isinstance(c, StepCmd):
+            if c.pid in keep:
+                out.append(c)
+        elif isinstance(c, InvokeCmd):
+            if c.pid in keep:
+                out.append(c)
+        elif isinstance(c, DeliverCmd):
+            if c.dst in keep:
+                out.append(c)
+    return out
+
+
+def splice_new(
+    fragment: RecordedFragment,
+    cw: ProcessId,
+    new_server: ProcessId,
+    servers: Sequence[ProcessId],
+) -> List[Command]:
+    """Compute ``β_new`` for the given roles (see module docstring)."""
+    if new_server not in servers:
+        raise ValueError(f"{new_server} is not a server")
+    # β'_p: shortest prefix containing all cw → new_server sends
+    split = 0
+    for idx, ev in enumerate(fragment.events):
+        if (
+            isinstance(ev, StepEvent)
+            and ev.pid == cw
+            and any(m.dst == new_server for m in ev.sent)
+        ):
+            split = idx + 1
+    prefix = fragment.commands[:split]
+    suffix = fragment.commands[split:]
+    beta_p = _keep_filter(prefix, {cw, new_server})
+    beta_s = _keep_filter(suffix, {new_server})
+    return beta_p + beta_s

@@ -1,0 +1,48 @@
+"""The protocol zoo.
+
+One module per system of Table 1 that we implement, plus shared plumbing:
+
+* :mod:`repro.protocols.base` — typed payloads, versioned server storage,
+  the server base class, and the :class:`~repro.protocols.base.System`
+  builder;
+* :mod:`repro.protocols.registry` — name → protocol factory table with
+  the paper's Table-1 row for each system.
+
+Import :func:`repro.protocols.build_system` to construct a runnable
+system for any registered protocol.
+"""
+
+from repro.protocols.base import (
+    ReadRequest,
+    ReadReply,
+    WriteRequest,
+    WriteReply,
+    ServerMsg,
+    ValueEntry,
+    Version,
+    ServerBase,
+    System,
+    SystemConfig,
+    default_placement,
+    build_system,
+)
+from repro.protocols.registry import REGISTRY, ProtocolInfo, get_protocol, protocol_names
+
+__all__ = [
+    "ReadRequest",
+    "ReadReply",
+    "WriteRequest",
+    "WriteReply",
+    "ServerMsg",
+    "ValueEntry",
+    "Version",
+    "ServerBase",
+    "System",
+    "SystemConfig",
+    "default_placement",
+    "build_system",
+    "REGISTRY",
+    "ProtocolInfo",
+    "get_protocol",
+    "protocol_names",
+]

@@ -1,0 +1,33 @@
+"""Contrarian — non-blocking two-round causal ROTs, no write transactions.
+
+Table 1 row: R = 2, V = 1, non-blocking, no WTX, causal consistency.
+
+The coordinator hands out the *global stable frontier* as the snapshot,
+so data servers can always answer immediately; freshness is what is
+traded away.  Read-your-writes is preserved by patching the client's own
+newer writes into the result from a local cache (client-side state only
+— nothing extra on the wire).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.snapshot import (
+    ScalarSnapshotServer,
+    SimplePutClientMixin,
+    SimplePutMixin,
+    SnapshotClient,
+)
+
+
+class ContrarianServer(SimplePutMixin, ScalarSnapshotServer):
+    def snapshot_view(self) -> int:
+        return self.gst()
+
+    def can_serve(self, snap: int) -> bool:
+        # handed-out snapshots are pre-stabilized: always serveable
+        return True
+
+
+class ContrarianClient(SimplePutClientMixin, SnapshotClient):
+    push_dependencies = False
+    use_write_cache = True

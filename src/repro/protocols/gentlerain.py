@@ -1,0 +1,32 @@
+"""GentleRain — blocking causal ROTs with O(1) metadata.
+
+Table 1 row: R = 2, V = 1, **blocking**, no WTX, causal consistency.
+
+The client folds its own dependency time into the snapshot (freshness
+first), so a data server whose global-stable-time view lags must *defer*
+the reply until GST gossip catches up — the blocking that Table 1
+records.  Metadata is a single scalar per message (GentleRain's selling
+point against Orbe's vectors; the metadata benchmark quantifies it).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.snapshot import (
+    ScalarSnapshotServer,
+    SimplePutClientMixin,
+    SimplePutMixin,
+    SnapshotClient,
+)
+
+
+class GentleRainServer(SimplePutMixin, ScalarSnapshotServer):
+    def snapshot_view(self) -> int:
+        return self.gst()
+
+    def can_serve(self, snap: int) -> bool:
+        return snap <= self.gst()
+
+
+class GentleRainClient(SimplePutClientMixin, SnapshotClient):
+    push_dependencies = True  # snapshot may run ahead of GST → blocking
+    use_write_cache = False

@@ -1,0 +1,28 @@
+"""Orbe — blocking causal ROTs with vector (dependency-matrix) metadata.
+
+Table 1 row: R = 2, V = 1, **blocking**, no WTX, causal consistency.
+
+Per-server vector timestamps stand in for Orbe's dependency matrices.
+As in GentleRain, the client pushes its dependency vector into the
+snapshot; a data server defers the read until its stable vector
+dominates the snapshot.  The payload cost of the vectors (O(m) per
+message vs GentleRain's O(1)) is measured by the metadata benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.snapshot import (
+    SimplePutClientMixin,
+    SimplePutMixin,
+    VectorSnapshotClient,
+    VectorSnapshotServer,
+)
+
+
+class OrbeServer(SimplePutMixin, VectorSnapshotServer):
+    pass  # vector snapshot_view / can_serve from VectorSnapshotServer
+
+
+class OrbeClient(SimplePutClientMixin, VectorSnapshotClient):
+    push_dependencies = True
+    use_write_cache = False

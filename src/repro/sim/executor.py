@@ -1,0 +1,197 @@
+"""The execution engine: configurations, steps, deliveries, snapshots.
+
+A :class:`Simulation` owns the processes and the network and applies
+events to them.  Its mutable state — process states, in-transit and income
+buffers, counters — *is* the configuration in the sense of the paper; the
+:meth:`Simulation.snapshot` / :meth:`Simulation.restore` pair implements
+``RC(C, α)`` exploration: snapshot a configuration ``C``, run any legal
+fragment ``α``, observe, restore, run a different fragment.
+
+Every applied event is appended both to the observational
+:class:`~repro.sim.trace.Trace` and to a replayable command log, so that
+any fragment can be re-executed (possibly filtered) from a snapshot — the
+mechanism behind the paper's indistinguishability splices.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.messages import Message, Payload, ProcessId
+from repro.sim.network import Network
+from repro.sim.process import Process, StepContext
+from repro.sim.replay import Command, DeliverCmd, InvokeCmd, ReplayError, StepCmd
+from repro.sim.trace import DeliverEvent, InvokeEvent, StepEvent, Trace
+
+
+@dataclass
+class Configuration:
+    """An opaque snapshot of a simulation's state (a configuration).
+
+    Holds deep copies; restoring never aliases live state.
+    """
+
+    processes: Dict[ProcessId, Process]
+    network: Network
+    msg_counter: int
+    event_count: int
+
+    def fork(self) -> "Configuration":
+        return Configuration(
+            processes=copy.deepcopy(self.processes),
+            network=copy.deepcopy(self.network),
+            msg_counter=self.msg_counter,
+            event_count=self.event_count,
+        )
+
+
+class Simulation:
+    """A running instance of the system."""
+
+    def __init__(self, processes: Sequence[Process]):
+        self.processes: Dict[ProcessId, Process] = {}
+        for p in processes:
+            if p.pid in self.processes:
+                raise ValueError(f"duplicate pid {p.pid}")
+            self.processes[p.pid] = p
+        self.network = Network(self.processes.keys())
+        self.trace = Trace()
+        self.log: List[Command] = []
+        self._msg_counter = 0
+        self.event_count = 0
+
+    # -- configuration management -----------------------------------------
+
+    def snapshot(self) -> Configuration:
+        """Capture the current configuration (deep copy)."""
+        return Configuration(
+            processes=copy.deepcopy(self.processes),
+            network=copy.deepcopy(self.network),
+            msg_counter=self._msg_counter,
+            event_count=self.event_count,
+        )
+
+    def restore(self, config: Configuration) -> None:
+        """Return to a previously captured configuration.
+
+        The trace and the command log are observational and are *not*
+        rewound; use their ``mark``/cursor mechanisms to slice branches.
+        """
+        forked = config.fork()
+        self.processes = forked.processes
+        self.network = forked.network
+        self._msg_counter = forked.msg_counter
+        self.event_count = forked.event_count
+
+    # -- events -------------------------------------------------------------
+
+    def step(self, pid: ProcessId) -> StepEvent:
+        """Apply a computation step of ``pid``."""
+        proc = self.processes[pid]
+        inbox = self.network.drain_income(pid)
+        neighbors = [q for q in self.processes if q != pid]
+        self.event_count += 1
+        ctx = StepContext(pid, neighbors, self.event_count)
+        proc.on_step(ctx, inbox)
+        sent: List[Message] = []
+        for dst, payload in ctx.sends:
+            msg = Message(
+                msg_id=self._msg_counter,
+                src=pid,
+                dst=dst,
+                link_seq=self.network.next_link_seq(pid, dst),
+                payload=payload,
+            )
+            self._msg_counter += 1
+            self.network.post(msg)
+            sent.append(msg)
+        event = StepEvent(
+            index=len(self.trace), pid=pid, received=tuple(inbox), sent=tuple(sent)
+        )
+        self.trace.append(event)
+        self.log.append(StepCmd(pid))
+        return event
+
+    def deliver(
+        self, src: ProcessId, dst: ProcessId, link_seq: Optional[int] = None
+    ) -> Message:
+        """Apply a delivery event; default: oldest in-transit on the link."""
+        if link_seq is None:
+            q = self.network.in_transit.get((src, dst))
+            if not q:
+                raise ReplayError(f"no in-transit message on link {src}->{dst}")
+            link_seq = q[0].link_seq
+        try:
+            msg = self.network.deliver(src, dst, link_seq)
+        except KeyError as exc:
+            raise ReplayError(str(exc)) from exc
+        self.event_count += 1
+        self.trace.append(DeliverEvent(index=len(self.trace), message=msg))
+        self.log.append(DeliverCmd(src, dst, link_seq))
+        return msg
+
+    def deliver_msg(self, msg: Message) -> Message:
+        return self.deliver(msg.src, msg.dst, msg.link_seq)
+
+    def invoke(self, pid: ProcessId, txn: Any) -> None:
+        """Hand a transaction invocation to client ``pid``."""
+        proc = self.processes[pid]
+        on_invoke = getattr(proc, "on_invoke", None)
+        if on_invoke is None:
+            raise TypeError(f"{pid} does not accept invocations")
+        on_invoke(txn)
+        self.trace.append(InvokeEvent(index=len(self.trace), pid=pid, txn=txn))
+        self.log.append(InvokeCmd(pid, txn))
+
+    # -- replay ---------------------------------------------------------------
+
+    def apply(self, cmd: Command) -> None:
+        if isinstance(cmd, StepCmd):
+            self.step(cmd.pid)
+        elif isinstance(cmd, DeliverCmd):
+            self.deliver(cmd.src, cmd.dst, cmd.link_seq)
+        elif isinstance(cmd, InvokeCmd):
+            self.invoke(cmd.pid, cmd.txn)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown command {cmd!r}")
+
+    def replay(self, commands: Iterable[Command], strict: bool = True) -> List[Command]:
+        """Apply a recorded (possibly filtered) command list.
+
+        With ``strict`` (the default) a delivery of a message that does not
+        exist raises :class:`ReplayError`.  With ``strict=False`` such
+        deliveries are skipped and the list of skipped commands returned —
+        used by diagnostics, never by the proof engine.
+        """
+        skipped: List[Command] = []
+        for cmd in commands:
+            try:
+                self.apply(cmd)
+            except ReplayError:
+                if strict:
+                    raise
+                skipped.append(cmd)
+        return skipped
+
+    # -- queries ---------------------------------------------------------------
+
+    def pids(self) -> Tuple[ProcessId, ...]:
+        return tuple(self.processes)
+
+    def quiescent(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        """No in-transit or undelivered messages; no (selected) process busy."""
+        if not self.network.idle():
+            return False
+        group = self.processes.values() if pids is None else (
+            self.processes[p] for p in pids
+        )
+        return not any(p.wants_step() for p in group)
+
+    def log_mark(self) -> int:
+        return len(self.log)
+
+    def log_since(self, mark: int) -> List[Command]:
+        return self.log[mark:]

@@ -1,0 +1,108 @@
+"""Links, in-transit queues, and income buffers.
+
+The model is a complete undirected graph; every ordered pair of distinct
+processes is a directed link with
+
+* an *in-transit* queue (the source's outcome buffer for that link), and
+* the destination's *income buffer* slot for that link.
+
+Links are reliable (no loss, duplication, corruption, injection) but
+**asynchronous**: the adversary may deliver in-transit messages in any
+order, including out of FIFO order on a single link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.messages import Message, ProcessId
+
+Link = Tuple[ProcessId, ProcessId]
+
+
+class Network:
+    """In-transit message storage plus per-process income buffers."""
+
+    def __init__(self, pids: Iterable[ProcessId]):
+        self.pids: Tuple[ProcessId, ...] = tuple(pids)
+        if len(set(self.pids)) != len(self.pids):
+            raise ValueError("duplicate process ids")
+        # in-transit messages, per directed link
+        self.in_transit: Dict[Link, Deque[Message]] = {}
+        # delivered-but-unprocessed messages, per destination process
+        self.income: Dict[ProcessId, List[Message]] = {p: [] for p in self.pids}
+        # per-link send counters, for structural link_seq addressing
+        self.link_counts: Dict[Link, int] = {}
+
+    # -- sending ---------------------------------------------------------
+
+    def next_link_seq(self, src: ProcessId, dst: ProcessId) -> int:
+        return self.link_counts.get((src, dst), 0)
+
+    def post(self, msg: Message) -> None:
+        """Place a freshly sent message in the source's outcome buffer."""
+        link = (msg.src, msg.dst)
+        expected = self.link_counts.get(link, 0)
+        if msg.link_seq != expected:
+            raise ValueError(
+                f"link_seq mismatch on {link}: got {msg.link_seq}, expected {expected}"
+            )
+        self.link_counts[link] = expected + 1
+        self.in_transit.setdefault(link, deque()).append(msg)
+
+    # -- delivery --------------------------------------------------------
+
+    def pending(self, src: Optional[ProcessId] = None, dst: Optional[ProcessId] = None) -> List[Message]:
+        """All in-transit messages, optionally filtered by endpoint."""
+        out: List[Message] = []
+        for (s, d), q in self.in_transit.items():
+            if src is not None and s != src:
+                continue
+            if dst is not None and d != dst:
+                continue
+            out.extend(q)
+        out.sort(key=lambda m: m.msg_id)
+        return out
+
+    def find(self, src: ProcessId, dst: ProcessId, link_seq: int) -> Optional[Message]:
+        q = self.in_transit.get((src, dst))
+        if not q:
+            return None
+        for m in q:
+            if m.link_seq == link_seq:
+                return m
+        return None
+
+    def deliver(self, src: ProcessId, dst: ProcessId, link_seq: int) -> Message:
+        """Move one message from in-transit to the destination's income buffer.
+
+        The adversary addresses the message structurally by
+        ``(src, dst, link_seq)``; delivery need not be FIFO.
+        """
+        q = self.in_transit.get((src, dst))
+        if q:
+            for i, m in enumerate(q):
+                if m.link_seq == link_seq:
+                    del q[i]
+                    self.income[dst].append(m)
+                    return m
+        raise KeyError(f"no in-transit message {src}->{dst}#{link_seq}")
+
+    def drain_income(self, pid: ProcessId) -> List[Message]:
+        """Remove and return every delivered message awaiting ``pid``."""
+        msgs = self.income[pid]
+        self.income[pid] = []
+        return msgs
+
+    # -- inspection ------------------------------------------------------
+
+    def n_in_transit(self) -> int:
+        return sum(len(q) for q in self.in_transit.values())
+
+    def n_income(self) -> int:
+        return sum(len(v) for v in self.income.values())
+
+    def idle(self) -> bool:
+        """True when no message is in transit and no income buffer is full."""
+        return self.n_in_transit() == 0 and self.n_income() == 0

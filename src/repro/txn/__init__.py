@@ -1,0 +1,38 @@
+"""Transactions, histories, clients, and the public ``Store`` facade.
+
+Implements the transactional vocabulary of Section 2 of the paper:
+static transactions with read-set and write-set, object operations
+``r(X)v`` / ``w(X)x``, histories ``H(α)`` with per-client projections,
+completion, and precedence.
+"""
+
+from repro.txn.types import (
+    BOTTOM,
+    ObjectId,
+    Transaction,
+    TxnRecord,
+    Value,
+    read_only_txn,
+    write_only_txn,
+    rw_txn,
+)
+from repro.txn.history import History, build_history
+from repro.txn.client import ClientBase, ActiveTxn, UnsupportedTransaction
+from repro.txn.api import Store
+
+__all__ = [
+    "BOTTOM",
+    "ObjectId",
+    "Transaction",
+    "TxnRecord",
+    "Value",
+    "read_only_txn",
+    "write_only_txn",
+    "rw_txn",
+    "History",
+    "build_history",
+    "ClientBase",
+    "ActiveTxn",
+    "UnsupportedTransaction",
+    "Store",
+]

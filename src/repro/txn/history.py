@@ -1,0 +1,197 @@
+"""Histories of executions.
+
+The history ``H(α)`` of an execution is the subsequence of invocations
+and responses of object operations (Section 2).  We represent it at
+transaction granularity: a list of :class:`~repro.txn.types.TxnRecord`
+(completed transactions) plus the set of still-active transactions.
+This is exactly the information the consistency definitions consume:
+
+* per-client projections ``H_c`` and program order ``<_{H|c}``;
+* ``complete(H)`` — the completed transactions;
+* real-time precedence (``T1`` completes before ``T2`` is invoked);
+* the reads-from function (well defined because the harness generates
+  globally unique written values, the paper's simplifying assumption).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.txn.types import BOTTOM, ObjectId, Transaction, TxnRecord, Value
+
+
+@dataclass
+class History:
+    """A transactional history."""
+
+    records: List[TxnRecord] = field(default_factory=list)
+    active: List[Transaction] = field(default_factory=list)
+
+    # -- structure ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def clients(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.client for r in self.records}))
+
+    def objects(self) -> Tuple[ObjectId, ...]:
+        objs: Set[ObjectId] = set()
+        for r in self.records:
+            objs |= set(r.txn.objects)
+        return tuple(sorted(objs))
+
+    def per_client(self, client: str) -> List[TxnRecord]:
+        """``H_c``: this client's records in program order."""
+        recs = [r for r in self.records if r.client == client]
+        recs.sort(key=lambda r: r.invoked_at)
+        return recs
+
+    def by_txid(self) -> Dict[str, TxnRecord]:
+        return {r.txid: r for r in self.records}
+
+    # -- derived relations ---------------------------------------------------
+
+    def check_unique_values(self) -> None:
+        """Ensure all written values are distinct (checker precondition)."""
+        seen: Dict[Tuple[ObjectId, Value], str] = {}
+        for r in self.records:
+            for obj, val in r.txn.writes:
+                key = (obj, val)
+                if key in seen and seen[key] != r.txid:
+                    raise ValueError(
+                        f"value {val!r} for {obj} written by both "
+                        f"{seen[key]} and {r.txid}"
+                    )
+                seen[key] = r.txid
+
+    def writer_index(self) -> Dict[Tuple[ObjectId, Value], TxnRecord]:
+        """Map (object, value) → the record that wrote it."""
+        idx: Dict[Tuple[ObjectId, Value], TxnRecord] = {}
+        for r in self.records:
+            for obj, val in r.txn.writes:
+                idx[(obj, val)] = r
+        return idx
+
+    def program_order(self) -> List[Tuple[str, str]]:
+        """Immediate program-order edges ``(earlier_txid, later_txid)``."""
+        edges: List[Tuple[str, str]] = []
+        for c in self.clients():
+            recs = self.per_client(c)
+            for a, b in zip(recs, recs[1:]):
+                edges.append((a.txid, b.txid))
+        return edges
+
+    def reads_from(self) -> List[Tuple[str, str]]:
+        """Reads-from edges ``(writer_txid, reader_txid)``.
+
+        Reads returning ⊥/unknown values produce no edge.
+        """
+        writers = self.writer_index()
+        edges: List[Tuple[str, str]] = []
+        for r in self.records:
+            for obj, val in r.reads.items():
+                if val is BOTTOM:
+                    continue
+                w = writers.get((obj, val))
+                if w is not None and w.txid != r.txid:
+                    edges.append((w.txid, r.txid))
+        return edges
+
+    def causal_order(self) -> "CausalOrder":
+        """The causal relation: transitive closure of program order ∪ reads-from."""
+        return CausalOrder.from_edges(
+            [r.txid for r in self.records],
+            self.program_order() + self.reads_from(),
+        )
+
+    def realtime_edges(self) -> List[Tuple[str, str]]:
+        """Precedence: ``T1`` completes before ``T2`` is invoked."""
+        edges = []
+        for a in self.records:
+            for b in self.records:
+                if a.txid != b.txid and a.completed_at < b.invoked_at:
+                    edges.append((a.txid, b.txid))
+        return edges
+
+
+class CausalOrder:
+    """A strict partial order on transaction ids with fast ``<`` queries."""
+
+    def __init__(self, nodes: Iterable[str]):
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self._idx = {n: i for i, n in enumerate(self.nodes)}
+        n = len(self.nodes)
+        self._reach: List[Set[int]] = [set() for _ in range(n)]
+
+    @classmethod
+    def from_edges(
+        cls, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]
+    ) -> "CausalOrder":
+        order = cls(nodes)
+        succ: Dict[int, Set[int]] = defaultdict(set)
+        for a, b in edges:
+            if a in order._idx and b in order._idx and a != b:
+                succ[order._idx[a]].add(order._idx[b])
+        # transitive closure by reverse-postorder DFS with memoization;
+        # cycles (which would indicate a corrupted history) are rejected.
+        color = [0] * len(order.nodes)  # 0 white, 1 grey, 2 black
+
+        def dfs(u: int) -> None:
+            color[u] = 1
+            for v in succ.get(u, ()):  # noqa: B023
+                if color[v] == 1:
+                    raise ValueError("cycle in causal order (corrupted history)")
+                if color[v] == 0:
+                    dfs(v)
+                order._reach[u].add(v)
+                order._reach[u] |= order._reach[v]
+            color[u] = 2
+
+        for u in range(len(order.nodes)):
+            if color[u] == 0:
+                dfs(u)
+        return order
+
+    def lt(self, a: str, b: str) -> bool:
+        """True iff ``a <c b`` (strictly causally before)."""
+        ia, ib = self._idx.get(a), self._idx.get(b)
+        if ia is None or ib is None:
+            return False
+        return ib in self._reach[ia]
+
+    def leq(self, a: str, b: str) -> bool:
+        return a == b or self.lt(a, b)
+
+    def concurrent(self, a: str, b: str) -> bool:
+        return a != b and not self.lt(a, b) and not self.lt(b, a)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        out = []
+        for i, a in enumerate(self.nodes):
+            for j in self._reach[i]:
+                out.append((a, self.nodes[j]))
+        return out
+
+
+def build_history(sim, clients: Optional[Iterable[str]] = None) -> History:
+    """Extract the history from a simulation's client processes."""
+    from repro.txn.client import ClientBase  # local import avoids a cycle
+
+    hist = History()
+    for pid, proc in sim.processes.items():
+        if not isinstance(proc, ClientBase):
+            continue
+        if clients is not None and pid not in set(clients):
+            continue
+        hist.records.extend(proc.completed)
+        if proc.current is not None:
+            hist.active.append(proc.current.txn)
+        hist.active.extend(proc.pending)
+    hist.records.sort(key=lambda r: (r.invoked_at, r.txid))
+    return hist

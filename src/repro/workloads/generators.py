@@ -1,0 +1,186 @@
+"""Transaction-mix generation and workload driving.
+
+A :class:`WorkloadSpec` describes the mix (read ratio, transaction
+sizes, skew); :func:`generate_workload` expands it into per-client
+transaction sequences with globally unique written values (the paper's
+simplifying assumption, and a checker precondition);
+:func:`run_workload` drives a system through the workload and returns
+its history.
+
+Protocols without multi-object write transactions are handed
+single-object writes when ``respect_capabilities`` is set (the default
+for the comparison benchmarks — every system executes the same logical
+update load, shaped to what it supports, which is exactly the
+functionality trade-off the paper is about).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.protocols.base import System
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.txn.history import History
+from repro.txn.types import ObjectId, Transaction, read_only_txn, rw_txn, write_only_txn
+from repro.workloads.zipf import ZipfGenerator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A transaction mix."""
+
+    n_txns: int = 100
+    read_ratio: float = 0.9  # fraction of read-only transactions
+    rw_ratio: float = 0.0  # fraction of read-write transactions
+    read_size: Tuple[int, int] = (1, 3)  # min/max objects per ROT
+    write_size: Tuple[int, int] = (1, 2)  # min/max objects per write txn
+    zipf_theta: float = 0.99
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if not 0.0 <= self.rw_ratio <= 1.0 - self.read_ratio:
+            raise ValueError("rw_ratio must fit in the remaining fraction")
+
+
+READ_HEAVY = WorkloadSpec(read_ratio=0.95)
+BALANCED = WorkloadSpec(read_ratio=0.5)
+WRITE_HEAVY = WorkloadSpec(read_ratio=0.1)
+
+
+class WorkloadGenerator:
+    """Expands a spec into concrete transactions."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        objects: Sequence[ObjectId],
+        clients: Sequence[str],
+        supports_wtx: bool = True,
+        supports_rw: bool = True,
+    ):
+        self.spec = spec
+        self.objects = tuple(objects)
+        self.clients = tuple(clients)
+        self.supports_wtx = supports_wtx
+        self.supports_rw = supports_rw
+        self.rng = random.Random(spec.seed)
+        self.zipf = ZipfGenerator(len(self.objects), spec.zipf_theta, seed=spec.seed)
+        self._value_counter = 0
+        self._txn_counter = 0
+
+    def _fresh_value(self, client: str) -> str:
+        self._value_counter += 1
+        return f"v{self._value_counter}@{client}"
+
+    def _fresh_txid(self, client: str) -> str:
+        # deterministic per generator (the global txid counter would leak
+        # state between runs and break seeded reproducibility)
+        self._txn_counter += 1
+        return f"t{self._txn_counter}.{client}"
+
+    def _pick_objects(self, lo: int, hi: int) -> Tuple[ObjectId, ...]:
+        k = min(self.rng.randint(lo, hi), len(self.objects))
+        return tuple(self.objects[i] for i in self.zipf.sample_distinct(k))
+
+    def next_txn(self, client: str) -> Transaction:
+        spec = self.spec
+        roll = self.rng.random()
+        txid = self._fresh_txid(client)
+        if roll < spec.read_ratio:
+            return read_only_txn(self._pick_objects(*spec.read_size), txid=txid)
+        wlo, whi = spec.write_size
+        if not self.supports_wtx:
+            wlo, whi = 1, 1
+        writes = {
+            obj: self._fresh_value(client) for obj in self._pick_objects(wlo, whi)
+        }
+        if self.supports_rw and roll < spec.read_ratio + spec.rw_ratio:
+            reads = tuple(
+                o for o in self._pick_objects(*spec.read_size) if o not in writes
+            )
+            if reads:
+                return rw_txn(reads, writes, txid=txid)
+        return write_only_txn(writes, txid=txid)
+
+    def schedule(self) -> List[Tuple[str, Transaction]]:
+        """The full workload: (client, txn) pairs in submission order."""
+        out: List[Tuple[str, Transaction]] = []
+        for _ in range(self.spec.n_txns):
+            client = self.rng.choice(self.clients)
+            out.append((client, self.next_txn(client)))
+        return out
+
+
+def generate_workload(
+    spec: WorkloadSpec,
+    objects: Sequence[ObjectId],
+    clients: Sequence[str],
+    supports_wtx: bool = True,
+    supports_rw: bool = True,
+) -> List[Tuple[str, Transaction]]:
+    return WorkloadGenerator(
+        spec, objects, clients, supports_wtx=supports_wtx, supports_rw=supports_rw
+    ).schedule()
+
+
+class WorkloadStalled(RuntimeError):
+    """The workload did not complete within the event budget."""
+
+
+def run_workload(
+    system: System,
+    spec: WorkloadSpec,
+    scheduler: Optional[Scheduler] = None,
+    max_events: int = 2_000_000,
+    respect_capabilities: bool = True,
+) -> History:
+    """Drive ``system`` through a generated workload; return its history.
+
+    Clients run **concurrently**: each client is handed its next
+    transaction the moment the previous one completes, while the (by
+    default seeded-random, i.e. adversarially reordering) scheduler
+    interleaves everyone's messages.  The overlap is what exercises the
+    interesting paths — second read rounds, blocking waits, readers
+    checks, lock queues.
+    """
+    from collections import deque
+
+    info = system.info
+    supports_rw = info.name in ("spanner", "calvin", "fastclaim")
+    gen = WorkloadGenerator(
+        spec,
+        system.config.objects,
+        system.clients,
+        supports_wtx=(info.supports_wtx if respect_capabilities else True),
+        supports_rw=supports_rw if respect_capabilities else True,
+    )
+    queues: Dict[str, "deque[Transaction]"] = {c: deque() for c in system.clients}
+    for client, txn in gen.schedule():
+        queues[client].append(txn)
+
+    sched = scheduler if scheduler is not None else RandomScheduler(spec.seed)
+    events = 0
+    while True:
+        for cpid, queue in queues.items():
+            client = system.client(cpid)
+            if queue and client.current is None and not client.pending:
+                system.sim.invoke(cpid, queue.popleft())
+        drained = all(not q for q in queues.values()) and all(
+            system.client(c).current is None and not system.client(c).pending
+            for c in system.clients
+        )
+        progressed = sched.tick(system.sim)
+        if not progressed:
+            if drained:
+                break
+            raise WorkloadStalled(
+                f"{info.name}: quiescent with unfinished transactions"
+            )
+        events += 1
+        if events > max_events:
+            raise WorkloadStalled(f"{info.name}: budget {max_events} exhausted")
+    return system.history()

@@ -1,0 +1,5 @@
+import sys
+from pathlib import Path
+
+# make tests/helpers.py importable regardless of rootdir configuration
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,83 @@
+"""Shared test helpers: tiny processes and history builders."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.messages import Message, Payload
+from repro.sim.process import Process, StepContext
+from repro.txn.types import ObjectId, Transaction, TxnRecord, Value
+
+
+class Note(Payload):
+    """A trivial payload carrying a token."""
+
+    def __init__(self, token):
+        self.token = token
+
+    def __repr__(self):
+        return f"Note({self.token!r})"
+
+
+class Echo(Process):
+    """Replies to every message with Note(('echo', token))."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.seen: List = []
+
+    def on_step(self, ctx: StepContext, inbox: Sequence[Message]) -> None:
+        for m in inbox:
+            self.seen.append(m.payload.token)
+            if not ctx.sent_to(m.src):
+                ctx.send(m.src, Note(("echo", m.payload.token)))
+
+
+class Pinger(Process):
+    """Sends Note(i) to a target once per step, n times."""
+
+    def __init__(self, pid, target, n=1):
+        super().__init__(pid)
+        self.target = target
+        self.remaining = n
+        self.got: List = []
+
+    def wants_step(self) -> bool:
+        return self.remaining > 0
+
+    def on_step(self, ctx: StepContext, inbox: Sequence[Message]) -> None:
+        for m in inbox:
+            self.got.append(m.payload.token)
+        if self.remaining > 0:
+            ctx.send(self.target, Note(self.remaining))
+            self.remaining -= 1
+
+
+def rec(
+    txid: str,
+    client: str,
+    *,
+    reads: Optional[Dict[ObjectId, Value]] = None,
+    writes: Optional[Dict[ObjectId, Value]] = None,
+    invoked_at: int = 0,
+    completed_at: Optional[int] = None,
+) -> TxnRecord:
+    """Build a TxnRecord tersely for checker tests."""
+    reads = reads or {}
+    writes = writes or {}
+    txn = Transaction(
+        txid, read_set=tuple(reads), writes=tuple(writes.items())
+    )
+    return TxnRecord(
+        txn=txn,
+        client=client,
+        reads=reads,
+        invoked_at=invoked_at,
+        completed_at=completed_at if completed_at is not None else invoked_at + 1,
+    )
+
+
+def history_of(*records: TxnRecord):
+    from repro.txn.history import History
+
+    return History(records=list(records))

@@ -1,0 +1,213 @@
+"""An anomaly catalog: the classic distributed-consistency anomalies as
+concrete histories, each run through every checker level.
+
+For each anomaly the tests record which levels must reject it and which
+must admit it — pinning down, with executable evidence, the lattice the
+paper's related work navigates: strict serializability ⊆ serializability
+⊆ read atomicity, strict serializability ⊆ causal consistency, and —
+less folklore-friendly — serializability and causal consistency are
+*incomparable* (see TestCausalityViolation and TestLongFork).
+"""
+
+import pytest
+
+from repro.consistency import (
+    check_causal_exact,
+    check_read_atomic,
+    check_serializable,
+    check_strict_serializable,
+    find_causal_anomalies,
+)
+from repro.txn.types import BOTTOM
+
+from helpers import history_of, rec
+
+
+def verdicts(history):
+    """(read-atomic, causal, serializable, strict) booleans."""
+    return (
+        check_read_atomic(history),
+        check_causal_exact(history).consistent,
+        check_serializable(history).serializable,
+        check_strict_serializable(history).serializable,
+    )
+
+
+class TestFracturedRead:
+    """Half of a transaction observed: rejected everywhere."""
+
+    def history(self):
+        return history_of(
+            rec("w", "c1", writes={"X": 1, "Y": 1}, invoked_at=0, completed_at=1),
+            rec("r", "c2", reads={"X": 1, "Y": BOTTOM}, invoked_at=5),
+        )
+
+    def test_all_levels_reject(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        assert not ra and not ser and not strict
+        # causal consistency *with the causal edge absent* actually admits
+        # a fractured read of a concurrent transaction... but here the
+        # reader read X=1 from w, creating the reads-from edge, so w <c r
+        # and the stale Y is a violation:
+        assert not causal
+
+
+class TestCausalityViolation:
+    """Seeing the effect without its cause (the reply-before-post)."""
+
+    def history(self):
+        return history_of(
+            rec("post", "alice", writes={"wall": "post"}, invoked_at=0),
+            rec("see", "bob", reads={"wall": "post"}, invoked_at=5),
+            rec("reply", "bob", writes={"cmt": "reply"}, invoked_at=6),
+            rec("observer", "carol", reads={"cmt": "reply", "wall": BOTTOM},
+                invoked_at=10),
+        )
+
+    def test_levels(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        # "post" and "reply" are different transactions: read atomicity
+        # has nothing to say
+        assert ra
+        # causal consistency rejects it (program order is causality)
+        assert not causal
+        # plain serializability ADMITS it: Papadimitriou's definition
+        # permits any total order, including one that re-orders bob's own
+        # transactions (reply before see) — serializability and causal
+        # consistency are incomparable, which is why the paper's Table 1
+        # lists them as distinct columns rather than a ladder
+        assert ser
+        # strict serializability respects real time, hence program order,
+        # hence rejects it again
+        assert not strict
+
+
+class TestStaleReadConcurrent:
+    """Reading an older value while a concurrent write exists: fine
+    everywhere except strict serializability (real-time order)."""
+
+    def history(self):
+        return history_of(
+            rec("w1", "c1", writes={"X": 1}, invoked_at=0, completed_at=2),
+            rec("w2", "c2", writes={"X": 2}, invoked_at=3, completed_at=5),
+            rec("r", "c3", reads={"X": 1}, invoked_at=10, completed_at=11),
+        )
+
+    def test_levels(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        assert ra and causal and ser
+        # w2 completed before r was invoked: strictly, r must see X=2
+        assert not strict
+
+
+class TestMonotonicReadInversion:
+    """One session reading backwards in causal time."""
+
+    def history(self):
+        return history_of(
+            rec("w1", "c1", writes={"X": 1}, invoked_at=0),
+            rec("rr", "c1", reads={"X": 1}, invoked_at=2),
+            rec("w2", "c1", writes={"X": 2}, invoked_at=4),
+            rec("back", "c1", reads={"X": 1}, invoked_at=8),
+        )
+
+    def test_levels(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        assert ra  # single-object: nothing fractured
+        assert not causal  # the session read backwards
+        assert ser  # plain serializability may reorder the session
+        assert not strict  # real time forbids it
+
+
+class TestLongFork:
+    """Two readers disagree about the order of two concurrent writes.
+
+    Admitted by causal consistency (the writers are concurrent, each
+    reader picks an order), rejected by (strict) serializability."""
+
+    def history(self):
+        return history_of(
+            rec("wa", "c1", writes={"X": "a"}, invoked_at=0, completed_at=20),
+            rec("wb", "c2", writes={"Y": "b"}, invoked_at=0, completed_at=20),
+            rec("r1a", "c3", reads={"X": "a", "Y": BOTTOM}, invoked_at=1,
+                completed_at=2),
+            rec("r2a", "c4", reads={"X": BOTTOM, "Y": "b"}, invoked_at=1,
+                completed_at=2),
+        )
+
+    def test_levels(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        assert ra
+        assert causal  # per-client serializations may order the forks freely
+        assert not ser  # no single order satisfies both readers
+        assert not strict
+
+
+class TestWriteSkewShape:
+    """Both transactions read the initial state and write disjointly —
+    admitted under read-atomic/causal, rejected by serializability when
+    each missed the other's write it should have seen."""
+
+    def history(self):
+        return history_of(
+            rec("t1", "c1", reads={"X": BOTTOM}, writes={"Y": 1}, invoked_at=0),
+            rec("t2", "c2", reads={"Y": BOTTOM}, writes={"X": 2}, invoked_at=0),
+        )
+
+    def test_levels(self):
+        ra, causal, ser, strict = verdicts(self.history())
+        assert ra and causal
+        assert not ser and not strict
+
+
+class TestCleanSequential:
+    """A perfectly sequential history passes every level."""
+
+    def history(self):
+        return history_of(
+            rec("w1", "c1", writes={"X": 1, "Y": 1}, invoked_at=0, completed_at=1),
+            rec("r1", "c2", reads={"X": 1, "Y": 1}, invoked_at=5, completed_at=6),
+            rec("w2", "c2", writes={"X": 2}, invoked_at=7, completed_at=8),
+            rec("r2", "c1", reads={"X": 2, "Y": 1}, invoked_at=10, completed_at=11),
+        )
+
+    def test_levels(self):
+        assert verdicts(self.history()) == (True, True, True, True)
+
+
+class TestHierarchy:
+    """Executable containments over the catalog.
+
+    The true lattice (verified here, not assumed):
+
+    * strict serializability ⊆ serializability ⊆ read atomicity;
+    * strict serializability ⊆ causal consistency;
+    * serializability and causal consistency are INCOMPARABLE — plain
+      serializability may reorder one client's own transactions
+      (TestCausalityViolation passes it while failing causal), and a
+      long fork passes causal while failing serializability.
+    """
+
+    def catalog(self):
+        return [
+            TestFracturedRead().history(),
+            TestCausalityViolation().history(),
+            TestStaleReadConcurrent().history(),
+            TestMonotonicReadInversion().history(),
+            TestLongFork().history(),
+            TestWriteSkewShape().history(),
+            TestCleanSequential().history(),
+        ]
+
+    def test_containments(self):
+        for history in self.catalog():
+            ra, causal, ser, strict = verdicts(history)
+            if strict:
+                assert ser and causal and ra
+            if ser:
+                assert ra
+
+    def test_ser_and_causal_incomparable(self):
+        results = [verdicts(h) for h in self.catalog()]
+        assert any(ser and not causal for _, causal, ser, _s in results)
+        assert any(causal and not ser for _, causal, ser, _s in results)

@@ -1,0 +1,109 @@
+"""CLI tests: every subcommand runs and prints what it promises."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliList:
+    def test_lists_protocols(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cops_snow", "wren", "spanner", "fastclaim"):
+            assert name in out
+
+
+class TestCliTheorem:
+    def test_fastclaim_violation(self, capsys):
+        assert main(["theorem", "fastclaim", "--max-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CAUSAL_VIOLATION" in out
+
+    def test_restricted_protocol(self, capsys):
+        assert main(["theorem", "cops_snow", "--max-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NO_MULTI_WRITE" in out
+        assert "measured fast" in out  # fast report printed
+
+    def test_general_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "theorem",
+                    "fastclaim",
+                    "--general",
+                    "--servers",
+                    "3",
+                    "--objects",
+                    "3",
+                    "--max-k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "CAUSAL_VIOLATION" in capsys.readouterr().out
+
+    def test_protocol_params_forwarded(self, capsys):
+        assert (
+            main(["theorem", "handshake", "--max-k", "4", "--sync-hops", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "k=2" in out
+
+
+class TestCliFigures:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Q_in" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Construction" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["figure", "3", "--max-k", "3"]) == 0
+        assert "CAUSAL_VIOLATION" in capsys.readouterr().out
+
+
+class TestCliWorkload:
+    def test_workload_characterization(self, capsys):
+        rc = main(["workload", "cops_snow", "--txns", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cops_snow" in out and "PASS" in out
+
+    def test_workload_strawman_may_fail(self, capsys):
+        rc = main(
+            ["workload", "handshake", "--txns", "60", "--sync-hops", "3",
+             "--seed", "2"]
+        )
+        # exit code reflects the consistency verdict either way
+        assert rc in (0, 1)
+
+
+class TestCliCheck:
+    def test_check_honest(self, capsys):
+        assert main(["check", "wren"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestCliParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+
+class TestCliTrace:
+    def test_trace_renders_lanes(self, capsys):
+        assert main(["trace", "cops_snow"]) == 0
+        out = capsys.readouterr().out
+        assert "invoke" in out and "step" in out and "<~" in out
+
+    def test_trace_wtx_protocol(self, capsys):
+        assert main(["trace", "wren"]) == 0
+        assert "s0" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Example scripts: each must run end-to-end and print its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "fast=True" in out
+    assert "refused the transfer" in out
+    assert "rounds=2" in out  # wren pays the snapshot round
+
+
+def test_staleness_tradeoff():
+    out = run_example("staleness_tradeoff.py")
+    assert "fast ROT + WTX!" in out
+    assert "STALLED" in out
+    assert "NOT_FAST" in out
+
+
+def test_social_network():
+    out = run_example("social_network.py")
+    assert "cops_snow" in out and "fastclaim" in out
+    assert "VIOLATED" in out  # fastclaim caught on the bulk run
+
+
+@pytest.mark.slow
+def test_protocol_comparison():
+    out = run_example("protocol_comparison.py", timeout=600)
+    assert "Table 1" in out
+    assert "COPS-SNOW" in out
+
+
+@pytest.mark.slow
+def test_impossibility_demo():
+    out = run_example("impossibility_demo.py", timeout=900)
+    assert "CAUSAL_VIOLATION" in out
+    assert "Theorem 2" in out
+    assert "sync_hops=3" in out
+
+
+def test_geo_replication():
+    out = run_example("geo_replication.py")
+    assert "pending" in out
+    assert "PASS" in out

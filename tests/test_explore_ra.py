@@ -1,0 +1,65 @@
+"""The conclusion's open question, explored: does the fast+WTX conflict
+already bite below causal consistency?
+
+The paper closes asking "which is the weakest consistency condition for
+which our impossibility result holds".  The bounded model checker can
+probe this empirically at the read-atomicity level (strictly weaker than
+causal consistency): a protocol with immediate independent per-server
+visibility (FastClaim) admits schedules that fracture a multi-object
+write — so even read atomicity is incompatible with FastClaim-style
+"all four properties", while RAMP shows RA *is* achievable with ≤2
+rounds.  The boundary therefore lies somewhere between RA-with-two-
+rounds and causal-with-one-round; these tests pin the two ends.
+"""
+
+import pytest
+
+from repro.core.explore import explore, explore_write_read_race
+from repro.protocols import build_system
+from repro.txn.types import read_only_txn, write_only_txn
+
+
+@pytest.mark.slow
+class TestReadAtomicBoundary:
+    def test_fastclaim_fractures_reads(self):
+        res = explore_write_read_race(
+            "fastclaim", max_depth=30, max_states=60_000, checker="read-atomic"
+        )
+        assert res.violation_found, res.describe()
+        _, anomalies = res.violations[0]
+        assert anomalies[0].sibling_txn == "Tw"
+
+    def test_ramp_read_atomic_in_scope(self):
+        res = explore_write_read_race(
+            "ramp", max_depth=24, max_states=8_000, checker="read-atomic"
+        )
+        assert not res.violation_found, res.describe()
+
+
+class TestCheckerParam:
+    def test_unknown_checker_rejected(self):
+        system = build_system(
+            "fastclaim", objects=("X0",), n_servers=1, clients=("c0",)
+        )
+        with pytest.raises(ValueError, match="unknown checker"):
+            explore(
+                system,
+                [("c0", write_only_txn({"X0": "v"}, txid="t"))],
+                checker="bogus",
+            )
+
+    def test_read_atomic_checker_runs(self):
+        system = build_system(
+            "fastclaim", objects=("X0",), n_servers=1, clients=("c0", "c1")
+        )
+        res = explore(
+            system,
+            [
+                ("c0", write_only_txn({"X0": "v"}, txid="t")),
+                ("c1", read_only_txn(("X0",), txid="r")),
+            ],
+            max_depth=14,
+            checker="read-atomic",
+        )
+        assert res.schedules_completed >= 1
+        assert not res.violation_found  # single-object writes can't fracture

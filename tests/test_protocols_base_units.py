@@ -1,0 +1,209 @@
+"""Unit tests for the shared protocol plumbing: payloads, versions,
+server base (store helpers, outbox, dispatch), and the stabilization
+gossip."""
+
+import pytest
+
+from repro.protocols.base import (
+    INITIAL_TS,
+    ReadReply,
+    ReadRequest,
+    ServerBase,
+    ServerMsg,
+    ValueEntry,
+    Version,
+    WriteReply,
+    WriteRequest,
+)
+from repro.protocols.stability import StabilizingServer
+from repro.sim.executor import Simulation
+from repro.sim.messages import Message
+from repro.sim.process import NullProcess, StepContext
+from repro.txn.types import BOTTOM
+
+
+class TestPayloads:
+    def test_read_reply_declares_values(self):
+        reply = ReadReply(
+            txid="t",
+            values=(ValueEntry("X", 1),),
+            aux_values=(ValueEntry("Y", 2),),
+        )
+        vals = reply.carried_values()
+        assert {v.obj for v in vals} == {"X", "Y"}
+
+    def test_write_request_declares_items(self):
+        req = WriteRequest(
+            txid="t",
+            kind="write",
+            items=(ValueEntry("X", 1),),
+            aux_items=(ValueEntry("Z", 3),),
+        )
+        assert {v.obj for v in req.carried_values()} == {"X", "Z"}
+
+    def test_empty_fields_skipped(self):
+        assert ReadReply(txid="t", values=()).carried_values() == []
+
+    def test_write_reply_carries_nothing(self):
+        assert WriteReply(txid="t", kind="ack").carried_values() == []
+
+
+class TestVersionChains:
+    def make_server(self):
+        class S(ServerBase):
+            def handle_read(self, ctx, msg, req):
+                pass
+
+            def handle_write(self, ctx, msg, req):
+                pass
+
+        return S("s0", ("X",), ("s0", "s1"), {"X": ("s0",)})
+
+    def test_initial_version(self):
+        s = self.make_server()
+        v = s.latest("X")
+        assert v.value is BOTTOM and v.ts == INITIAL_TS
+
+    def test_install_sorted(self):
+        s = self.make_server()
+        s.install(Version("X", "b", ts=(2, "s0")))
+        s.install(Version("X", "a", ts=(1, "s0")))
+        assert [v.value for v in s.versions("X")] == [BOTTOM, "a", "b"]
+        assert s.latest("X").value == "b"
+
+    def test_latest_with_predicate(self):
+        s = self.make_server()
+        s.install(Version("X", "a", ts=(1, "s0")))
+        s.install(Version("X", "b", ts=(5, "s0")))
+        v = s.latest("X", pred=lambda v: v.ts == INITIAL_TS or v.ts[0] <= 3)
+        assert v.value == "a"
+
+    def test_latest_skips_invisible(self):
+        s = self.make_server()
+        s.install(Version("X", "hidden", ts=(9, "s0"), visible=False))
+        assert s.latest("X").value is BOTTOM
+
+    def test_version_at_or_before(self):
+        s = self.make_server()
+        s.install(Version("X", "a", ts=(1, "s0")))
+        s.install(Version("X", "b", ts=(5, "s0")))
+        assert s.version_at_or_before("X", (4, "zz")).value == "a"
+
+    def test_find_version_exact(self):
+        s = self.make_server()
+        s.install(Version("X", "a", ts=(1, "s0")))
+        assert s.find_version("X", (1, "s0")).value == "a"
+        assert s.find_version("X", (2, "s0")) is None
+
+    def test_entry_copies_meta(self):
+        v = Version("X", "a", ts=(1, "s0"), meta={"k": 1})
+        e = v.entry(extra=2)
+        assert e.meta == {"k": 1, "extra": 2}
+        assert v.meta == {"k": 1}
+
+    def test_stores(self):
+        s = self.make_server()
+        assert s.stores("X") and not s.stores("Y")
+
+
+class EchoServer(ServerBase):
+    """Replies to reads; used to exercise the outbox."""
+
+    def handle_read(self, ctx, msg, req):
+        self.queue_send(ctx, msg.src, ReadReply(txid=req.txid, values=()))
+
+    def handle_write(self, ctx, msg, req):
+        pass
+
+
+class TestOutbox:
+    def test_second_reply_queued_and_flushed(self):
+        server = EchoServer("s0", ("X",), ("s0",), {"X": ("s0",)})
+        sim = Simulation([server, NullProcess("c0")])
+        # two read requests from the same client in one inbox
+        ctx = StepContext("c0", ["s0"], 0)
+        sim.network.post(
+            Message(100, "c0", "s0", 0, ReadRequest(txid="a", keys=("X",)))
+        )
+        sim.network.post(
+            Message(101, "c0", "s0", 1, ReadRequest(txid="b", keys=("X",)))
+        )
+        sim.deliver("c0", "s0", 0)
+        sim.deliver("c0", "s0", 1)
+        ev = sim.step("s0")
+        assert len(ev.sent) == 1  # one per neighbour per step
+        assert server.outbox and server.wants_step()
+        ev2 = sim.step("s0")
+        assert len(ev2.sent) == 1
+        assert not server.outbox and not server.wants_step()
+        txids = {m.payload.txid for m in (ev.sent + ev2.sent)}
+        assert txids == {"a", "b"}
+
+    def test_unknown_payload_rejected(self):
+        server = EchoServer("s0", ("X",), ("s0",), {"X": ("s0",)})
+        sim = Simulation([server, NullProcess("c0")])
+        sim.network.post(Message(0, "c0", "s0", 0, object()))
+        sim.deliver("c0", "s0", 0)
+        with pytest.raises(TypeError):
+            sim.step("s0")
+
+
+class PlainStabilizer(StabilizingServer):
+    def handle_read(self, ctx, msg, req):
+        pass
+
+    def handle_write(self, ctx, msg, req):
+        pass
+
+
+class TestStabilityGossip:
+    def make_pair(self):
+        placement = {"X": ("s0",), "Y": ("s1",)}
+        a = PlainStabilizer("s0", ("X",), ("s0", "s1"), placement)
+        b = PlainStabilizer("s1", ("Y",), ("s0", "s1"), placement)
+        return Simulation([a, b]), a, b
+
+    def test_gst_starts_conservative(self):
+        _, a, _ = self.make_pair()
+        assert a.gst() == 0
+
+    def test_dirty_broadcast_and_response(self):
+        sim, a, b = self.make_pair()
+        from repro.sim.scheduler import run_until_quiescent
+
+        a.clock = 10
+        a._dirty = True
+        run_until_quiescent(sim, max_events=5000)
+        assert b.known_clocks["s0"] >= 10
+        assert a.known_clocks["s1"] > 0  # the solicited response arrived
+        assert a.gst() > 0
+
+    def test_gossip_terminates(self):
+        sim, a, b = self.make_pair()
+        from repro.sim.scheduler import run_until_quiescent
+
+        a._dirty = True
+        n = run_until_quiescent(sim, max_events=5000)
+        assert sim.quiescent()
+        assert n < 100  # damped, not a storm
+
+    def test_clock_tracks_event_counter(self):
+        sim, a, _ = self.make_pair()
+        sim.event_count = 500
+        sim.step("s0")
+        assert a.clock >= 500
+
+    def test_stable_vector_includes_self(self):
+        _, a, _ = self.make_pair()
+        a.clock = 7
+        vec = a.stable_vector()
+        assert vec["s0"] == 7 and "s1" in vec
+
+    def test_unknown_server_msg_rejected(self):
+        sim, a, b = self.make_pair()
+        sim.network.post(
+            Message(0, "s1", "s0", 0, ServerMsg(kind="mystery", data={}))
+        )
+        sim.deliver("s1", "s0", 0)
+        with pytest.raises(NotImplementedError):
+            sim.step("s0")

@@ -1,0 +1,113 @@
+"""Workload-level integration tests: every protocol runs realistic mixed
+workloads under the reordering adversary and must uphold its claimed
+consistency level (except the strawmen, whose whole point is failing)."""
+
+import pytest
+
+from repro.analysis import characterize
+from repro.consistency import check_history, check_sessions
+from repro.protocols import build_system, get_protocol, protocol_names
+from repro.workloads import WorkloadSpec, run_workload
+
+HONEST = [p for p in sorted(protocol_names()) if p not in ("fastclaim", "handshake")]
+CAUSAL_HONEST = [p for p in HONEST if get_protocol(p).consistency == "causal"]
+
+
+@pytest.mark.parametrize("protocol", HONEST)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_mixed_workload_consistency(protocol, seed):
+    system = build_system(protocol, objects=("X0", "X1", "X2", "X3"), n_servers=2)
+    spec = WorkloadSpec(n_txns=60, read_ratio=0.65, read_size=(2, 3), seed=seed)
+    hist = run_workload(system, spec)
+    assert len(hist.records) == 60
+    report = check_history(hist, level=system.info.consistency)
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("protocol", CAUSAL_HONEST)
+def test_small_workload_exact_causal(protocol):
+    system = build_system(protocol, objects=("X0", "X1"), n_servers=2,
+                          clients=("c0", "c1"))
+    spec = WorkloadSpec(n_txns=12, read_ratio=0.5, read_size=(1, 2), seed=5)
+    hist = run_workload(system, spec)
+    report = check_history(hist, level="causal", exact=True)
+    assert report.ok and report.conclusive, report.describe()
+
+
+@pytest.mark.parametrize("protocol", CAUSAL_HONEST)
+def test_session_guarantees_upheld(protocol):
+    system = build_system(protocol, objects=("X0", "X1", "X2"), n_servers=3)
+    spec = WorkloadSpec(n_txns=50, read_ratio=0.6, seed=8)
+    hist = run_workload(system, spec)
+    assert check_sessions(hist) == []
+
+
+@pytest.mark.parametrize("protocol", HONEST)
+def test_three_servers(protocol):
+    system = build_system(
+        protocol, objects=("A", "B", "C", "D", "E", "F"), n_servers=3
+    )
+    spec = WorkloadSpec(n_txns=40, read_ratio=0.7, read_size=(2, 4), seed=3)
+    hist = run_workload(system, spec)
+    assert len(hist.records) == 40
+    report = check_history(hist, level=system.info.consistency)
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("protocol", HONEST)
+def test_write_heavy_workload(protocol):
+    system = build_system(protocol, objects=("X0", "X1"), n_servers=2)
+    spec = WorkloadSpec(n_txns=40, read_ratio=0.2, seed=4)
+    hist = run_workload(system, spec)
+    report = check_history(hist, level=system.info.consistency)
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("protocol", HONEST)
+def test_measured_row_matches_paper_class(protocol):
+    """The measured characterization must land in the same property class
+    as the paper's Table 1 row: fast protocols measure fast, blocking
+    ones block (under enough contention), multi-round ones never exceed
+    the paper's bound."""
+    system = build_system(protocol, objects=("X0", "X1", "X2", "X3"), n_servers=2)
+    spec = WorkloadSpec(n_txns=80, read_ratio=0.6, read_size=(2, 3), seed=7)
+    hist = run_workload(system, spec)
+    ch = characterize(system, hist, check=False)
+    info = get_protocol(protocol)
+    paper = info.paper_row
+
+    bound = {"1": 1, "2": 2, "<=2": 2, "<=3": 3, ">=1": 99, "many": 99}
+    assert ch.max_rounds <= bound[paper.rounds], ch.row()
+    if paper.values != "many":
+        assert ch.max_values_per_object <= bound[paper.values], ch.row()
+    if paper.nonblocking == "yes":
+        assert not ch.any_blocked, ch.row()
+    assert ch.supports_wtx == (paper.wtx == "yes")
+    # COPS-SNOW must measure fast; protocols whose paper row forbids a
+    # fast measurement (fixed 2 rounds, blocking, or multi-value) must
+    # not.  Best-effort rows ("<=2") may measure 1 round on a lucky
+    # workload — COPS does here; the targeted tests force its round 2.
+    measured_fast = ch.fast_rots and ch.max_hops <= 2
+    if protocol == "cops_snow":
+        assert measured_fast, ch.row()
+    if paper.rounds == "2" or paper.nonblocking == "no" or paper.values == "many":
+        assert not measured_fast, ch.row()
+
+
+def test_strawmen_violations_eventually_detectable():
+    """handshake's delayed visibility produces detectable violations on
+    plain random workloads often enough; fastclaim usually survives
+    random testing (the adversarial engine is what catches it) — both
+    facts are part of the reproduction's story."""
+    from repro.consistency import find_causal_anomalies
+
+    found = False
+    for seed in range(6):
+        system = build_system("handshake", objects=("X0", "X1"), n_servers=2,
+                              sync_hops=3)
+        spec = WorkloadSpec(n_txns=60, read_ratio=0.6, read_size=(2, 2), seed=seed)
+        hist = run_workload(system, spec)
+        if find_causal_anomalies(hist):
+            found = True
+            break
+    assert found, "handshake should show anomalies under random workloads"

@@ -1,0 +1,118 @@
+"""Scheduler fairness/restriction and trace query tests."""
+
+import pytest
+
+from repro.sim.executor import Simulation
+from repro.sim.process import NullProcess
+from repro.sim.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    SchedulerStalled,
+    run_until_quiescent,
+)
+from repro.sim.trace import DeliverEvent, InvokeEvent, StepEvent
+
+from helpers import Echo, Note, Pinger
+
+
+class TestRoundRobin:
+    def test_quiesces_echo_pair(self):
+        sim = Simulation([Pinger("p", "e", n=3), Echo("e")])
+        n = run_until_quiescent(sim)
+        assert n > 0
+        assert sim.quiescent()
+        assert sim.processes["p"].got == [("echo", 3), ("echo", 2), ("echo", 1)]
+
+    def test_tick_false_when_nothing_to_do(self):
+        sim = Simulation([NullProcess("a"), NullProcess("b")])
+        assert RoundRobinScheduler().tick(sim) is False
+
+    def test_until_predicate_stops_early(self):
+        sim = Simulation([Pinger("p", "e", n=5), Echo("e")])
+        sched = RoundRobinScheduler()
+        sched.run(sim, until=lambda s: len(s.processes["p"].got) >= 1)
+        assert len(sim.processes["p"].got) == 1
+
+    def test_budget_exhaustion_raises(self):
+        sim = Simulation([Pinger("p", "e", n=100), Echo("e")])
+        with pytest.raises(SchedulerStalled):
+            RoundRobinScheduler().run(sim, until=lambda s: False, max_events=10)
+
+    def test_unreachable_goal_raises_at_quiescence(self):
+        sim = Simulation([Pinger("p", "e", n=1), Echo("e")])
+        with pytest.raises(SchedulerStalled):
+            RoundRobinScheduler().run(sim, until=lambda s: False, max_events=10_000)
+
+    def test_restriction_withholds_messages(self):
+        sim = Simulation([Pinger("p", "e", n=1), Echo("e"), NullProcess("z")])
+        run_until_quiescent(sim, pids=["p"])  # e excluded: message undelivered
+        assert sim.network.n_in_transit() == 1
+        assert sim.processes["e"].seen == []
+
+    def test_restricted_quiescence_then_full(self):
+        sim = Simulation([Pinger("p", "e", n=1), Echo("e")])
+        run_until_quiescent(sim, pids=["p"])
+        assert not sim.quiescent()  # message in transit globally
+        run_until_quiescent(sim)
+        assert sim.quiescent()
+
+
+class TestRandomScheduler:
+    def test_seeded_determinism(self):
+        def run(seed):
+            sim = Simulation([Pinger("p", "e", n=4), Echo("e")])
+            RandomScheduler(seed).run(sim, max_events=10_000)
+            return [repr(e) for e in sim.trace]
+
+        assert run(3) == run(3)
+
+    def test_different_seeds_can_differ(self):
+        def run(seed):
+            sim = Simulation(
+                [Pinger("a", "e", n=3), Pinger("b", "e", n=3), Echo("e")]
+            )
+            RandomScheduler(seed).run(sim, max_events=10_000)
+            return sim.processes["e"].seen
+
+        outcomes = {tuple(run(s)) for s in range(8)}
+        assert len(outcomes) > 1  # the adversary genuinely reorders
+
+    def test_completes_workload(self):
+        sim = Simulation([Pinger("p", "e", n=5), Echo("e")])
+        RandomScheduler(0).run(sim, max_events=10_000)
+        assert sorted(sim.processes["e"].seen, reverse=True) == [5, 4, 3, 2, 1]
+
+
+class TestTraceQueries:
+    def make_traced(self):
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        run_until_quiescent(sim)
+        return sim
+
+    def test_steps_of(self):
+        sim = self.make_traced()
+        assert all(e.pid == "e" for e in sim.trace.steps_of("e"))
+        assert len(sim.trace.steps_of("p")) >= 2
+
+    def test_messages_sent_filters(self):
+        sim = self.make_traced()
+        sent = sim.trace.messages_sent(src="p", dst="e")
+        assert [m.payload.token for m in sent] == [2, 1]
+        assert sim.trace.messages_sent(src="e", dst="p")
+
+    def test_receive_step(self):
+        sim = self.make_traced()
+        msg = sim.trace.messages_sent(src="p")[0]
+        ev = sim.trace.receive_step(msg)
+        assert ev is not None and ev.pid == "e"
+
+    def test_mark_and_since(self):
+        sim = Simulation([Pinger("p", "e", n=1), Echo("e")])
+        mark = sim.trace.mark()
+        sim.step("p")
+        assert len(sim.trace.since(mark)) == 1
+
+    def test_render_nonempty(self):
+        sim = self.make_traced()
+        text = sim.trace.render()
+        assert "step p" in text and "deliver" in text

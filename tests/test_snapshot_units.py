@@ -1,0 +1,127 @@
+"""Unit tests for the snapshot-machinery internals (protocols/snapshot.py)."""
+
+import pytest
+
+from repro.protocols.base import INITIAL_TS, ValueEntry, Version
+from repro.protocols.cure import CureServer
+from repro.protocols.gentlerain import GentleRainServer
+from repro.protocols.orbe import OrbeServer
+from repro.protocols.wren import WrenClient, WrenServer
+
+
+def mkserver(cls, pid="s0"):
+    placement = {"X": ("s0",), "Y": ("s1",)}
+    return cls(pid, ("X",), ("s0", "s1"), placement)
+
+
+class TestScalarSnapshotServing:
+    def test_version_in_snapshot_bounds(self):
+        s = mkserver(GentleRainServer)
+        s.install(Version("X", "a", ts=(3, "s0")))
+        s.install(Version("X", "b", ts=(9, "s0")))
+        assert s.version_in_snapshot("X", 5).value == "a"
+        assert s.version_in_snapshot("X", 9).value == "b"
+        assert s.version_in_snapshot("X", 1).ts == INITIAL_TS
+
+    def test_gentlerain_blocks_above_gst(self):
+        s = mkserver(GentleRainServer)
+        s.clock = 10
+        s.known_clocks["s1"] = 4
+        assert s.can_serve(4)
+        assert not s.can_serve(7)  # above the GST frontier
+
+    def test_gst_is_min_of_views(self):
+        s = mkserver(GentleRainServer)
+        s.clock = 10
+        s.known_clocks["s1"] = 6
+        assert s.gst() == 6
+
+
+class TestVectorSnapshotServing:
+    def test_dependency_vector_gates_inclusion(self):
+        s = mkserver(OrbeServer)
+        # a version whose deps exceed the snapshot must be skipped even
+        # though its own timestamp fits
+        s.install(Version("X", "old", ts=(2, "s0")))
+        # dependency vectors are (server, stamp) pairs in this family
+        s.install(Version("X", "new", ts=(5, "s0"), deps=(("s1", 7),)))
+        snap_missing_dep = {"s0": 9, "s1": 3}
+        assert s.version_in_snapshot("X", snap_missing_dep).value == "old"
+        snap_with_dep = {"s0": 9, "s1": 8}
+        assert s.version_in_snapshot("X", snap_with_dep).value == "new"
+
+    def test_can_serve_componentwise(self):
+        s = mkserver(CureServer)
+        s.clock = 10
+        s.known_clocks["s1"] = 4
+        assert s.can_serve({"s0": 8, "s1": 4})
+        assert not s.can_serve({"s0": 8, "s1": 6})
+
+
+class TestTwoPCFrontier:
+    def test_local_stable_held_by_prepared(self):
+        s = mkserver(WrenServer)
+        s.clock = 20
+        assert s.local_stable() == 20
+        s.prepared["t"] = ((), 15)
+        assert s.local_stable() == 14
+        s.prepared["u"] = ((), 12)
+        assert s.local_stable() == 11
+        del s.prepared["u"]
+        assert s.local_stable() == 14
+
+    def test_commit_installs_with_sibling_deps(self):
+        from repro.sim.executor import Simulation
+        from repro.sim.process import NullProcess
+        from repro.sim.messages import Message
+        from repro.protocols.base import WriteRequest
+
+        s = mkserver(CureServer)
+        sim = Simulation([s, NullProcess("c"), NullProcess("s1")])
+        prep = WriteRequest(
+            txid="t",
+            kind="prepare",
+            items=(ValueEntry("X", "v"),),
+            meta={"client_ts": 0, "dep_vec": (), "siblings": ("s0", "s1")},
+        )
+        sim.network.post(Message(0, "c", "s0", 0, prep))
+        sim.deliver("c", "s0", 0)
+        sim.step("s0")
+        commit = WriteRequest(txid="t", kind="commit", meta={"commit_ts": 9})
+        sim.network.post(Message(1, "c", "s0", 1, commit))
+        sim.deliver("c", "s0", 1)
+        sim.step("s0")
+        v = s.latest("X")
+        assert v.value == "v"
+        assert ("s1", 9) in v.deps  # the sibling shard's commit entry
+
+
+class TestSnapshotClientBookkeeping:
+    def make_client(self):
+        placement = {"X": ("s0",), "Y": ("s1",)}
+        return WrenClient("c", ("s0", "s1"), placement)
+
+    def test_snapshot_monotone(self):
+        c = self.make_client()
+        assert c._choose_snapshot(5) == 5
+        assert c._choose_snapshot(3) == 5  # never goes backwards
+        assert c._choose_snapshot(9) == 9
+
+    def test_write_cache_wins_when_fresher(self):
+        from repro.txn.client import ActiveTxn
+        from repro.txn.types import read_only_txn
+
+        c = self.make_client()
+        c.write_cache["X"] = ValueEntry("X", "mine", ts=(9, "s0"))
+        active = ActiveTxn(txn=read_only_txn(("X",), txid="t"), invoked_at=0)
+        c._absorb_entry(active, ValueEntry("X", "theirs", ts=(4, "s0")))
+        assert active.reads["X"] == "mine"
+        c.write_cache["X"] = ValueEntry("X", "stale-mine", ts=(2, "s0"))
+        c._absorb_entry(active, ValueEntry("X", "newer", ts=(11, "s0")))
+        assert active.reads["X"] == "newer"
+
+    def test_note_ts_tracks_max(self):
+        c = self.make_client()
+        c.note_ts((4, "s0"))
+        c.note_ts((2, "s1"))
+        assert c.dep_ts == 4

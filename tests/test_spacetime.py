@@ -1,0 +1,37 @@
+"""Space-time renderer tests."""
+
+from repro.analysis import render_spacetime
+from repro.sim.executor import Simulation
+
+from helpers import Echo, Pinger
+
+
+class TestRenderSpacetime:
+    def make(self):
+        sim = Simulation([Pinger("p", "e", n=1), Echo("e")])
+        sim.step("p")
+        sim.deliver("p", "e")
+        sim.step("e")
+        return sim
+
+    def test_auto_pid_discovery(self):
+        sim = self.make()
+        out = render_spacetime(sim.trace)
+        assert "p" in out.splitlines()[0] and "e" in out.splitlines()[0]
+
+    def test_slicing(self):
+        sim = self.make()
+        full = render_spacetime(sim.trace, pids=("p", "e"))
+        sliced = render_spacetime(sim.trace, pids=("p", "e"), start=1)
+        assert len(sliced.splitlines()) == len(full.splitlines()) - 1
+
+    def test_width(self):
+        sim = self.make()
+        narrow = render_spacetime(sim.trace, pids=("p", "e"), width=8)
+        wide = render_spacetime(sim.trace, pids=("p", "e"), width=30)
+        assert len(wide.splitlines()[0]) > len(narrow.splitlines()[0])
+
+    def test_unknown_pids_ignored(self):
+        sim = self.make()
+        out = render_spacetime(sim.trace, pids=("ghost",))
+        assert "ghost" in out

@@ -1,0 +1,234 @@
+"""Workload generators, metrics, tables and figures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.analysis import (
+    approx_size,
+    analyze_transactions,
+    characterize,
+    format_table,
+    payload_references,
+    payload_sizes,
+    render_table1,
+    figure1,
+    figure3,
+)
+from repro.protocols import build_system
+from repro.protocols.base import ReadReply, ReadRequest, ValueEntry
+from repro.workloads import (
+    BALANCED,
+    READ_HEAVY,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfGenerator,
+    generate_workload,
+    run_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# zipf
+# ---------------------------------------------------------------------------
+
+
+class TestZipf:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(5, theta=-1)
+
+    def test_pmf_sums_to_one(self):
+        z = ZipfGenerator(50, 0.99)
+        assert abs(z.pmf().sum() - 1.0) < 1e-9
+
+    def test_pmf_monotone_decreasing(self):
+        z = ZipfGenerator(30, 0.8)
+        pmf = z.pmf()
+        assert all(pmf[i] >= pmf[i + 1] - 1e-12 for i in range(len(pmf) - 1))
+
+    def test_theta_zero_uniform(self):
+        z = ZipfGenerator(10, 0.0)
+        pmf = z.pmf()
+        assert np.allclose(pmf, 0.1)
+
+    def test_skew_concentrates_mass(self):
+        hot = ZipfGenerator(100, 1.2, seed=1)
+        samples = [hot.sample() for _ in range(2000)]
+        assert samples.count(0) > 2000 * 0.15
+
+    def test_sample_distinct(self):
+        z = ZipfGenerator(10, 0.99, seed=2)
+        got = z.sample_distinct(10)
+        assert sorted(got) == list(range(10))
+        with pytest.raises(ValueError):
+            z.sample_distinct(11)
+
+    @given(st.integers(1, 40), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_in_range(self, n, seed):
+        z = ZipfGenerator(n, 0.99, seed=seed)
+        for _ in range(20):
+            assert 0 <= z.sample() < n
+
+    def test_determinism(self):
+        a = ZipfGenerator(20, 0.9, seed=7)
+        b = ZipfGenerator(20, 0.9, seed=7)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+
+# ---------------------------------------------------------------------------
+# workload generation
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadGenerator:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_ratio=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_ratio=0.9, rw_ratio=0.5)
+
+    def test_schedule_length(self):
+        sched = generate_workload(
+            WorkloadSpec(n_txns=37), ("X0", "X1"), ("c0", "c1")
+        )
+        assert len(sched) == 37
+
+    def test_read_ratio_respected(self):
+        spec = WorkloadSpec(n_txns=400, read_ratio=0.9, seed=5)
+        sched = generate_workload(spec, tuple(f"X{i}" for i in range(8)), ("c0",))
+        n_reads = sum(1 for _, t in sched if t.is_read_only)
+        assert 0.82 <= n_reads / 400 <= 0.97
+
+    def test_unique_values(self):
+        spec = WorkloadSpec(n_txns=300, read_ratio=0.2, seed=5)
+        sched = generate_workload(spec, ("X0", "X1"), ("c0", "c1"))
+        values = [v for _, t in sched for _, v in t.writes]
+        assert len(values) == len(set(values))
+
+    def test_no_wtx_capability(self):
+        spec = WorkloadSpec(n_txns=200, read_ratio=0.0, write_size=(2, 3), seed=1)
+        sched = generate_workload(
+            spec, tuple(f"X{i}" for i in range(6)), ("c0",), supports_wtx=False
+        )
+        assert all(len(t.writes) == 1 for _, t in sched)
+
+    def test_determinism(self):
+        spec = WorkloadSpec(n_txns=50, seed=9)
+        a = generate_workload(spec, ("X0", "X1"), ("c0", "c1"))
+        b = generate_workload(spec, ("X0", "X1"), ("c0", "c1"))
+        assert [(c, repr(t)) for c, t in a] == [(c, repr(t)) for c, t in b]
+
+    def test_rw_transactions_generated(self):
+        spec = WorkloadSpec(n_txns=300, read_ratio=0.3, rw_ratio=0.4, seed=2)
+        sched = generate_workload(
+            spec, tuple(f"X{i}" for i in range(8)), ("c0",), supports_rw=True
+        )
+        assert any(t.read_set and t.writes for _, t in sched)
+
+
+class TestRunWorkload:
+    @pytest.mark.parametrize("protocol", ["cops_snow", "wren", "spanner"])
+    def test_completes_and_consistent_count(self, protocol):
+        system = build_system(protocol, objects=("X0", "X1", "X2"), n_servers=2)
+        spec = WorkloadSpec(n_txns=40, read_ratio=0.7, seed=3)
+        hist = run_workload(system, spec)
+        assert len(hist.records) == 40
+        assert not hist.active
+
+    def test_deterministic(self):
+        def run():
+            system = build_system("cops", objects=("X0", "X1"), n_servers=2)
+            hist = run_workload(system, WorkloadSpec(n_txns=30, seed=4))
+            return [(r.txid, tuple(sorted(r.reads.items()))) for r in hist.records]
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestPayloadIntrospection:
+    def test_references_by_txid(self):
+        assert payload_references(ReadRequest(txid="t", keys=("X",)), "t")
+        assert not payload_references(ReadRequest(txid="u", keys=("X",)), "t")
+
+    def test_references_calvin_batches(self):
+        from repro.protocols.base import ServerMsg
+
+        sm = ServerMsg(kind="batch", data={"entries": [{"txid": "t"}]})
+        assert payload_references(sm, "t")
+        assert not payload_references(sm, "z")
+
+    def test_approx_size_basics(self):
+        assert approx_size("abcd") == 4
+        assert approx_size(7) == 8
+        assert approx_size([1, 2]) == 16
+        assert approx_size({"a": 1}) == 9
+
+    def test_payload_sizes_split(self):
+        reply = ReadReply(
+            txid="t",
+            values=(ValueEntry("X", "valuevalue", ts=(1, "s")),),
+            meta={"snap": 12345},
+        )
+        vb, mb = payload_sizes(reply)
+        assert vb == len("valuevalue")
+        assert mb > 0
+
+
+class TestCharacterize:
+    def test_rows_have_all_fields(self):
+        system = build_system("cops_snow", objects=("X0", "X1"), n_servers=2)
+        hist = run_workload(system, WorkloadSpec(n_txns=30, seed=1))
+        ch = characterize(system, hist)
+        row = ch.row()
+        assert row["protocol"] == "cops_snow"
+        assert row["R"] == 1 and row["N"] == "yes" and row["WTX"] == "no"
+        assert ch.fast_rots
+
+    def test_wren_row(self):
+        system = build_system("wren", objects=("X0", "X1"), n_servers=2)
+        hist = run_workload(system, WorkloadSpec(n_txns=30, read_ratio=0.6, seed=1))
+        ch = characterize(system, hist)
+        assert ch.max_rounds == 2 and not ch.any_blocked and ch.supports_wtx
+        assert not ch.fast_rots
+
+    def test_latency_positive(self):
+        system = build_system("contrarian", objects=("X0", "X1"), n_servers=2)
+        hist = run_workload(system, WorkloadSpec(n_txns=20, seed=1))
+        ch = characterize(system, hist)
+        assert ch.avg_rot_latency > 0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines if l}) <= 2
+
+    def test_render_table1_contains_systems(self):
+        system = build_system("cops_snow", objects=("X0", "X1"), n_servers=2)
+        hist = run_workload(system, WorkloadSpec(n_txns=20, seed=1))
+        ch = characterize(system, hist)
+        out = render_table1([ch], include_unimplemented=True)
+        assert "COPS-SNOW" in out
+        assert "RoCoCo-SNOW" in out  # unimplemented row present
+
+
+class TestFigures:
+    def test_figure1_text(self):
+        out = figure1("cops_snow")
+        assert "Q_in" in out and "C_0" in out and "X0:init" in out
+
+    def test_figure3_text(self):
+        out = figure3("fastclaim", max_k=3)
+        assert "CAUSAL_VIOLATION" in out
+        assert "mix of old and new" in out
