@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test test-fast bench examples all
+.PHONY: install test test-fast bench bench-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop  # offline fallback
@@ -13,6 +13,11 @@ test-fast:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# fast perf-regression gate: exact exploration counts vs the committed
+# baseline (PYTHONHASHSEED pinned so any failure reproduces bit-for-bit)
+bench-smoke:
+	PYTHONHASHSEED=0 python benchmarks/bench_smoke.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,91 @@
+"""A one-minute perf-regression smoke for the state-space engines.
+
+Runs the two canonical model-checker workloads on the fast (bytes)
+snapshot path and checks the exploration *counts* against the committed
+baseline: the state partition is a pure function of protocol state
+values (see ``Simulation._dumps_canonical``), so ``states_visited`` and
+``schedules_completed`` are exact, machine-independent invariants — any
+drift means the fork/fingerprint machinery changed behaviour, not just
+speed.  Wall-clock time and the SimCounters cost ledger are printed for
+eyeballing but never asserted (they are machine-dependent).
+
+Run via ``make bench-smoke`` (which pins ``PYTHONHASHSEED`` — the counts
+no longer depend on it, but a pinned seed keeps any future regression
+deterministic to reproduce) or directly::
+
+    python benchmarks/bench_smoke.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.explore import explore_write_read_race  # noqa: E402
+
+#: (protocol, params) -> exact expected counts on the bytes path
+BASELINES = {
+    ("fastclaim", 30, 60_000): dict(
+        states_visited=22_575, schedules_completed=1_003, violations=1
+    ),
+    ("cops", 22, 6_000): dict(
+        states_visited=6_001, schedules_completed=481, violations=0
+    ),
+}
+
+
+def fork_machinery_smoke() -> bool:
+    """The reduced bench_fork: snapshot/fork/restore semantics + caching."""
+    from repro.core.setup import prepare_theorem_system
+    from repro.sim.scheduler import RoundRobinScheduler
+
+    tsys = prepare_theorem_system("wren")
+    sim = tsys.sim
+    sim.invoke(tsys.cw, tsys.tw())
+    sched = RoundRobinScheduler()
+    for _ in range(6):
+        sched.tick(sim, pids=(tsys.cw,) + tuple(tsys.servers))
+    snap = sim.snapshot()
+    fp = sim.fingerprint(snap)
+    ok = snap.fork().blob is snap.blob  # O(1) fork: shares the blob
+    snap2 = sim.snapshot()  # unchanged state: cached serialization
+    ok &= snap2.blob is snap.blob and sim.counters.bytes_reused > 0
+    for _ in range(6):
+        sched.tick(sim, pids=(tsys.cw,) + tuple(tsys.servers))
+    sim.restore(snap)
+    ok &= sim.fingerprint() == fp and sim.counters.bytes_restored > 0
+    print(("ok  " if ok else "FAIL") + f" fork machinery: {sim.counters.describe()}")
+    return ok
+
+
+def main() -> int:
+    failures = 0
+    failures += not fork_machinery_smoke()
+    for (proto, depth, states), expect in BASELINES.items():
+        t0 = time.perf_counter()
+        r = explore_write_read_race(proto, max_depth=depth, max_states=states)
+        dt = time.perf_counter() - t0
+        got = dict(
+            states_visited=r.states_visited,
+            schedules_completed=r.schedules_completed,
+            violations=len(r.violations),
+        )
+        ok = got == expect
+        failures += not ok
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {proto} depth={depth} "
+            f"budget={states}: {got} in {dt:.1f}s"
+        )
+        if not ok:
+            print(f"     expected {expect}")
+        print(f"     cost: {r.counters.describe()}")
+    if failures:
+        print(f"bench-smoke: {failures} baseline mismatch(es)")
+        return 1
+    print("bench-smoke: all exploration baselines reproduced")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

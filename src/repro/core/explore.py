@@ -16,13 +16,12 @@ hundreds of states; the proof engine constructs one splice.
 
 from __future__ import annotations
 
-import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.consistency.causal import find_causal_anomalies
 from repro.protocols.base import System
-from repro.sim.executor import Simulation
+from repro.sim.executor import SimCounters, Simulation
 from repro.sim.messages import ProcessId
 from repro.txn.client import ClientBase
 from repro.txn.history import build_history
@@ -36,8 +35,10 @@ class ExplorationResult:
     protocol: str
     states_visited: int
     schedules_completed: int
-    truncated: int  # branches cut by the depth bound
+    truncated: int  # branches cut by the depth or state budget
     violations: List[Tuple[List[str], List]] = field(default_factory=list)
+    #: snapshot/restore cost accounting for the run (see SimCounters)
+    counters: Optional[SimCounters] = None
 
     @property
     def violation_found(self) -> bool:
@@ -50,37 +51,18 @@ class ExplorationResult:
             f"{self.truncated} truncated"
         )
         if not self.violations:
-            return head + " — no causal violation in scope"
-        sched, anomalies = self.violations[0]
-        lines = [head + f" — {len(self.violations)} violating schedule(s)"]
-        lines.append("  first violating schedule:")
-        for s in sched:
-            lines.append(f"    {s}")
-        for a in anomalies[:2]:
-            lines.append(f"  anomaly: {a.describe()}")
+            lines = [head + " — no causal violation in scope"]
+        else:
+            sched, anomalies = self.violations[0]
+            lines = [head + f" — {len(self.violations)} violating schedule(s)"]
+            lines.append("  first violating schedule:")
+            for s in sched:
+                lines.append(f"    {s}")
+            for a in anomalies[:2]:
+                lines.append(f"  anomaly: {a.describe()}")
+        if self.counters is not None:
+            lines.append(f"  cost: {self.counters.describe()}")
         return "\n".join(lines)
-
-
-def _fingerprint(sim: Simulation) -> bytes:
-    """A configuration hash for revisit pruning.
-
-    Pickle is stable here because all process state is plain Python data
-    and the simulation is deterministic.
-    """
-    return pickle.dumps(
-        (
-            sorted(
-                (pid, pickle.dumps(proc.__dict__))
-                for pid, proc in sim.processes.items()
-            ),
-            sorted(
-                (link, tuple(m.msg_id for m in q))
-                for link, q in sim.network.in_transit.items()
-            ),
-            sorted((pid, tuple(m.msg_id for m in msgs))
-                   for pid, msgs in sim.network.income.items()),
-        )
-    )
 
 
 def _enabled_events(sim: Simulation, pids: Sequence[ProcessId]):
@@ -131,6 +113,7 @@ def explore(
                                schedules_completed=0, truncated=0)
     seen: Set[bytes] = set()
     trail: List[str] = []
+    exhausted = False  # global state budget spent: short-circuit all descent
 
     def all_done() -> bool:
         return all(
@@ -156,8 +139,12 @@ def explore(
 
     def dfs(depth: int) -> bool:
         """Returns True to abort the whole search (first violation)."""
+        nonlocal exhausted
         result.states_visited += 1
         if result.states_visited > max_states:
+            # budget spent: cut this branch once and stop all further
+            # descent (the exhausted flag unwinds the sibling loops too)
+            exhausted = True
             result.truncated += 1
             return False
         events = _enabled_events(sim, pids)
@@ -169,12 +156,18 @@ def explore(
         if depth >= max_depth:
             result.truncated += 1
             return False
-        fp = _fingerprint(sim)
+        # one snapshot per node: every child branch mutates the live sim
+        # and restores from this same (immutable) snapshot afterwards.
+        # Fingerprinting right after the snapshot also attaches the
+        # per-process fingerprint dumps to it, so each child restore
+        # re-primes the fingerprint cache and the child's fingerprint
+        # only re-serializes what its one event touched.
+        snap = sim.snapshot()
+        fp = sim.fingerprint(snap)
         if fp in seen:
             return False
         seen.add(fp)
-        for label, action in events:
-            snap = sim.snapshot()
+        for i, (label, action) in enumerate(events):
             if action[0] == "d":
                 sim.deliver(action[1], action[2], action[3])
             else:
@@ -185,9 +178,13 @@ def explore(
             sim.restore(snap)
             if abort:
                 return True
+            if exhausted:
+                result.truncated += len(events) - 1 - i  # cut siblings
+                return False
         return False
 
     dfs(0)
+    result.counters = replace(sim.counters)
     return result
 
 

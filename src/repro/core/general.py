@@ -182,7 +182,10 @@ def run_general_induction(
 
         forced.append(f"k={k}: {ms_desc}")
         c_k = sim.snapshot()
-        reads = probe_read(sim, tsys.probes[0], tsys.objects, tsys.service_pids, restore=True)
+        reads = probe_read(
+            sim, tsys.probes[0], tsys.objects, tsys.service_pids,
+            restore=True, snap=c_k,
+        )
         visible_objs = [
             o for o, v in tsys.new_values.items() if reads is not None and reads.get(o) == v
         ]

@@ -267,10 +267,14 @@ def run_induction(
                 forced_messages=forced,
             )
 
-        # ms_k found: C_k is the configuration right after its send
+        # ms_k found: C_k is the configuration right after its send; the
+        # probe branches from the same snapshot we keep as the next C_{k-1}
         forced.append(f"k={k}: {ms_desc}")
         c_k = sim.snapshot()
-        reads = probe_read(sim, tsys.probes[0], tsys.objects, tsys.service_pids, restore=True)
+        reads = probe_read(
+            sim, tsys.probes[0], tsys.objects, tsys.service_pids,
+            restore=True, snap=c_k,
+        )
         visible_objs = [
             o
             for o, v in tsys.new_values.items()

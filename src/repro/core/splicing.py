@@ -23,8 +23,8 @@ diagnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.sim.messages import ProcessId
 from repro.sim.replay import Command, DeliverCmd, InvokeCmd, StepCmd
@@ -41,6 +41,13 @@ class RecordedFragment:
 
     commands: List[Command]
     events: List[TraceEvent]
+    # incremental send index: (src, dst) -> index just past src's last
+    # send to dst, maintained lazily so that trying several splice roles
+    # against one fragment scans its events once, not once per role
+    _send_scan: int = field(default=0, init=False, repr=False, compare=False)
+    _last_send: Dict[Tuple[ProcessId, ProcessId], int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.commands) != len(self.events):
@@ -57,6 +64,19 @@ class RecordedFragment:
         self.events.extend(events)
         if len(self.commands) != len(self.events):
             raise ValueError("misaligned fragment extension")
+
+    def last_send_boundary(self, src: ProcessId, dst: ProcessId) -> int:
+        """Index just past the last step where ``src`` sent to ``dst``.
+
+        Returns 0 when the fragment contains no such send.
+        """
+        while self._send_scan < len(self.events):
+            ev = self.events[self._send_scan]
+            self._send_scan += 1
+            if isinstance(ev, StepEvent):
+                for m in ev.sent:
+                    self._last_send[(ev.pid, m.dst)] = self._send_scan
+        return self._last_send.get((src, dst), 0)
 
 
 def _keep_filter(
@@ -87,14 +107,7 @@ def splice_new(
     if new_server not in servers:
         raise ValueError(f"{new_server} is not a server")
     # β'_p: shortest prefix containing all cw → new_server sends
-    split = 0
-    for idx, ev in enumerate(fragment.events):
-        if (
-            isinstance(ev, StepEvent)
-            and ev.pid == cw
-            and any(m.dst == new_server for m in ev.sent)
-        ):
-            split = idx + 1
+    split = fragment.last_send_boundary(cw, new_server)
     prefix = fragment.commands[:split]
     suffix = fragment.commands[split:]
     beta_p = _keep_filter(prefix, {cw, new_server})

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence, Set
 
-from repro.sim.executor import Simulation
+from repro.sim.executor import Configuration, Simulation
 from repro.sim.messages import Message, ProcessId
 from repro.sim.scheduler import RoundRobinScheduler, SchedulerStalled
 from repro.txn.client import ClientBase
@@ -48,13 +48,18 @@ def probe_read(
     servers: Sequence[ProcessId],
     max_events: int = 20_000,
     restore: bool = True,
+    snap: Optional[Configuration] = None,
 ) -> Optional[Dict[ObjectId, Value]]:
     """Run a fresh ROT from the current configuration under the frozen
     adversary; return its reads, or ``None`` if it cannot complete.
 
     The configuration is restored afterwards unless ``restore=False``.
+    A caller that already holds a snapshot of the *current* configuration
+    may pass it as ``snap`` to skip the probe's own snapshot (the fast
+    fork pattern: one snapshot, many branches).
     """
-    snap = sim.snapshot()
+    if snap is None and restore:
+        snap = sim.snapshot()
     frozen = {m.msg_id for m in sim.network.pending()}
     client = sim.processes[probe_client]
     assert isinstance(client, ClientBase)

@@ -22,7 +22,13 @@ indistinguishability splices executable (see :mod:`repro.core.splicing`).
 from repro.sim.messages import Message, Payload
 from repro.sim.process import Process, StepContext
 from repro.sim.network import Network
-from repro.sim.executor import Simulation, Configuration
+from repro.sim.executor import (
+    Simulation,
+    Configuration,
+    DeepCopyConfiguration,
+    SimCounters,
+    use_snapshot_mode,
+)
 from repro.sim.replay import Command, StepCmd, DeliverCmd, InvokeCmd, ReplayError
 from repro.sim.scheduler import (
     Scheduler,
@@ -48,6 +54,9 @@ __all__ = [
     "Network",
     "Simulation",
     "Configuration",
+    "DeepCopyConfiguration",
+    "SimCounters",
+    "use_snapshot_mode",
     "Command",
     "StepCmd",
     "DeliverCmd",

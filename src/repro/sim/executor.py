@@ -16,7 +16,10 @@ mechanism behind the paper's indistinguishability splices.
 from __future__ import annotations
 
 import copy
-import itertools
+import hashlib
+import io
+import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,12 +29,124 @@ from repro.sim.process import Process, StepContext
 from repro.sim.replay import Command, DeliverCmd, InvokeCmd, ReplayError, StepCmd
 from repro.sim.trace import DeliverEvent, InvokeEvent, StepEvent, Trace
 
+#: Snapshots are serialized at pickle protocol 5 (out-of-band-buffer era,
+#: the fastest framing available).
+PICKLE_PROTOCOL = 5
+
 
 @dataclass
-class Configuration:
-    """An opaque snapshot of a simulation's state (a configuration).
+class SimCounters:
+    """Cost accounting for the ``RC(C, α)`` machinery.
 
-    Holds deep copies; restoring never aliases live state.
+    Surfaced by :meth:`repro.core.explore.ExplorationResult.describe` and
+    the fork benchmarks so the perf trajectory of the snapshot path stays
+    observable across PRs.
+    """
+
+    snapshots: int = 0          #: snapshot() calls
+    restores: int = 0           #: restore() calls
+    fingerprints: int = 0       #: fingerprint() calls
+    cache_hits: int = 0         #: component serializations reused
+    cache_misses: int = 0       #: component serializations recomputed
+    bytes_serialized: int = 0   #: bytes actually pickled for snapshots
+    bytes_reused: int = 0       #: snapshot bytes served from the dirty cache
+    bytes_restored: int = 0     #: bytes deserialized by restores
+    restore_reuses: int = 0     #: components restore() kept alive unchanged
+
+    def describe(self) -> str:
+        total = self.bytes_serialized + self.bytes_reused
+        pct = 100.0 * self.bytes_reused / total if total else 0.0
+        return (
+            f"{self.snapshots} snapshots, {self.restores} restores, "
+            f"{self.fingerprints} fingerprints; serialization cache "
+            f"{self.cache_hits} hits / {self.cache_misses} misses "
+            f"({pct:.0f}% of {total} snapshot bytes reused)"
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Configuration:
+    """An opaque bytes-snapshot of a simulation's state (a configuration).
+
+    One pickle blob holding the full process map *and* the network,
+    serialized together.  Serializing everything in a single pass matters
+    beyond speed: the pickle memo then spans the whole configuration, so
+    an object referenced both from a process and from an in-flight
+    message — a payload a client still holds, an interned object id
+    string appearing in a transaction and in a reply — deserializes to
+    *one* object again, exactly the identity structure ``copy.deepcopy``
+    preserved (deep copies keep immutables by identity; a per-component
+    pair of blobs would silently split them and perturb the exploration
+    engine's sharing-sensitive fingerprints).
+
+    **Ownership rule:** a Configuration may be restored any number of
+    times, and restoring must never alias live simulation state.  The
+    bytes representation makes that free — the blob is immutable, and
+    every :meth:`Simulation.restore` materializes fresh objects with
+    ``pickle.loads`` — so no defensive copy is needed on either side of
+    the snapshot/restore pair (the old implementation deep copied once at
+    ``snapshot()`` *and again* at ``restore()``).
+
+    :meth:`fork` exists for the rare caller that wants an explicitly
+    independent handle on the same state (e.g. to stash a branch point in
+    a long-lived structure); for bytes snapshots it shares the immutable
+    blob, so it is O(1).
+    """
+
+    __slots__ = ("blob", "msg_counter", "event_count", "fp_dumps")
+
+    def __init__(self, blob: bytes, msg_counter: int, event_count: int):
+        self.blob = blob
+        self.msg_counter = msg_counter
+        self.event_count = event_count
+        #: canonical per-process fingerprint dumps for exactly this blob's
+        #: state, attached by :meth:`Simulation.fingerprint` so a later
+        #: restore can re-prime the fingerprint cache (restored branches
+        #: then only re-serialize the processes an event actually touched)
+        self.fp_dumps: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
+
+    def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
+        """Deserialize a private (processes, network) pair.
+
+        Each call deserializes afresh; mutating the result never touches
+        the snapshot.
+        """
+        return pickle.loads(self.blob)
+
+    @property
+    def processes(self) -> Dict[ProcessId, Process]:
+        """Materialize private copies of the snapshotted processes."""
+        return self.materialize()[0]
+
+    @property
+    def network(self) -> Network:
+        """Materialize a private copy of the snapshotted network."""
+        return self.materialize()[1]
+
+    def fork(self) -> "Configuration":
+        forked = Configuration(
+            blob=self.blob,
+            msg_counter=self.msg_counter,
+            event_count=self.event_count,
+        )
+        forked.fp_dumps = self.fp_dumps  # immutable too: share, don't copy
+        return forked
+
+    def size_bytes(self) -> int:
+        return len(self.blob)
+
+
+@dataclass
+class DeepCopyConfiguration:
+    """The pre-optimization snapshot: deep copies of the live objects.
+
+    Kept as a reference implementation (``snapshot_mode="deepcopy"``) so
+    tests can pin the old contract and the fork benchmark can measure the
+    before/after of the bytes-snapshot rework in one process.  Restoring
+    one of these must fork first — the held objects would otherwise alias
+    live state after a restore.
     """
 
     processes: Dict[ProcessId, Process]
@@ -39,17 +154,91 @@ class Configuration:
     msg_counter: int
     event_count: int
 
-    def fork(self) -> "Configuration":
-        return Configuration(
+    def fork(self) -> "DeepCopyConfiguration":
+        return DeepCopyConfiguration(
             processes=copy.deepcopy(self.processes),
             network=copy.deepcopy(self.network),
             msg_counter=self.msg_counter,
             event_count=self.event_count,
         )
 
+    def size_bytes(self) -> int:  # parity with Configuration, for benchmarks
+        return len(pickle.dumps((self.processes, self.network), PICKLE_PROTOCOL))
+
+
+@contextmanager
+def use_snapshot_mode(mode: str):
+    """Force every new snapshot into ``mode`` ("bytes" or "deepcopy").
+
+    Benchmark/test helper; flips the class-level default and restores it.
+    """
+    if mode not in ("bytes", "deepcopy"):
+        raise ValueError(f"unknown snapshot mode {mode!r}")
+    old = Simulation.snapshot_mode
+    Simulation.snapshot_mode = mode
+    try:
+        yield
+    finally:
+        Simulation.snapshot_mode = old
+
+
+class _SetMark:
+    """Sentinel class tagging a canonicalized (sorted) set — see _canonize."""
+
+
+class _ObjMark:
+    """Sentinel class tagging a canonicalized object — see _canonize."""
+
+
+_ATOMIC_TYPES = (str, int, float, bool, bytes, type(None))
+
+
+def _fast_dumps(obj: Any) -> bytes:
+    """C pickle in *fast mode* (no memo): bytes are identity-blind."""
+    buf = io.BytesIO()
+    p = pickle.Pickler(buf, PICKLE_PROTOCOL)
+    p.fast = True
+    p.dump(obj)
+    return buf.getvalue()
+
+
+def _canonize(obj: Any) -> Any:
+    """Rewrite a state tree into a canonical, order-deterministic form.
+
+    Containers are rebuilt bottom-up; sets and frozensets become
+    ``(_SetMark, is_frozen, sorted elements)`` with elements ordered by
+    their own canonical bytes (a total order that never compares
+    heterogeneous elements with ``<``); any other object becomes
+    ``(_ObjMark, module, qualname, canonized state)``.  The sentinel
+    *classes* are picklable by reference and cannot collide with
+    protocol-state values.  Dicts keep their insertion order — both
+    ``copy.deepcopy`` and ``pickle.loads`` preserve it, so it is already
+    deterministic.
+    """
+    t = type(obj)
+    if t in _ATOMIC_TYPES:
+        return obj
+    if t is tuple:
+        return tuple(_canonize(x) for x in obj)
+    if t is list:
+        return [_canonize(x) for x in obj]
+    if t is dict:
+        return {_canonize(k): _canonize(v) for k, v in obj.items()}
+    if t is set or t is frozenset:
+        return (
+            _SetMark,
+            t is frozenset,
+            sorted((_canonize(x) for x in obj), key=_fast_dumps),
+        )
+    return (_ObjMark, t.__module__, t.__qualname__, _canonize(obj.__getstate__()))
+
 
 class Simulation:
     """A running instance of the system."""
+
+    #: "bytes" (the fast pickle-blob path) or "deepcopy" (the reference
+    #: implementation); class attribute, overridable per instance.
+    snapshot_mode = "bytes"
 
     def __init__(self, processes: Sequence[Process]):
         self.processes: Dict[ProcessId, Process] = {}
@@ -62,29 +251,269 @@ class Simulation:
         self.log: List[Command] = []
         self._msg_counter = 0
         self.event_count = 0
+        self.counters = SimCounters()
+        # dirty-tracked serialization caches.  An entry is valid while the
+        # live container objects are identical (``is``) and the aggregate
+        # dirty key is unchanged — then the blob is their exact current
+        # serialization.  The whole configuration is cached as one
+        # combined blob (see Configuration: the memo must span processes
+        # and network); the key is the tuple of per-process dirty
+        # counters plus the network's.
+        self._config_cache: Optional[
+            Tuple[Dict, Network, Tuple[int, ...], int, bytes]
+        ] = None
+        # per-process canonical fingerprint dumps, keyed by pid; an entry
+        # (proc, version, bytes) is valid while the live process *is* that
+        # object at that dirty version.  Held strongly, so object ids
+        # cannot be recycled into false hits.
+        self._proc_fp_cache: Dict[ProcessId, Tuple[Process, int, bytes]] = {}
 
     # -- configuration management -----------------------------------------
 
-    def snapshot(self) -> Configuration:
-        """Capture the current configuration (deep copy)."""
+    def _proc_versions(self) -> Tuple[int, ...]:
+        return tuple(
+            getattr(p, "_version", 0) for p in self.processes.values()
+        )
+
+    def _config_blob(self) -> bytes:
+        procs = self.processes
+        net = self.network
+        versions = self._proc_versions()
+        net_version = getattr(net, "_version", 0)
+        entry = self._config_cache
+        if (
+            entry is not None
+            and entry[0] is procs
+            and entry[1] is net
+            and entry[2] == versions
+            and entry[3] == net_version
+        ):
+            self.counters.cache_hits += 1
+            self.counters.bytes_reused += len(entry[4])
+            return entry[4]
+        blob = pickle.dumps((procs, net), PICKLE_PROTOCOL)
+        self._config_cache = (procs, net, versions, net_version, blob)
+        self.counters.cache_misses += 1
+        self.counters.bytes_serialized += len(blob)
+        return blob
+
+    def snapshot(self) -> "Configuration":
+        """Capture the current configuration.
+
+        In the default ``"bytes"`` mode the snapshot is one pickle blob
+        (protocol 5) covering the process map and the network together.
+        If the dirty counters are unchanged since the last serialization
+        the cached bytes are reused — back-to-back snapshots with no
+        intervening event are near-free.
+        """
+        self.counters.snapshots += 1
+        if self.snapshot_mode == "deepcopy":
+            return DeepCopyConfiguration(
+                processes=copy.deepcopy(self.processes),
+                network=copy.deepcopy(self.network),
+                msg_counter=self._msg_counter,
+                event_count=self.event_count,
+            )
         return Configuration(
-            processes=copy.deepcopy(self.processes),
-            network=copy.deepcopy(self.network),
+            blob=self._config_blob(),
             msg_counter=self._msg_counter,
             event_count=self.event_count,
         )
 
-    def restore(self, config: Configuration) -> None:
+    def restore(self, config) -> None:
         """Return to a previously captured configuration.
+
+        A configuration may be restored any number of times; restoring
+        never aliases live state (the :class:`Configuration` ownership
+        rule).  Bytes snapshots get this for free — each restore
+        deserializes fresh objects — so no defensive copy is made; as a
+        further shortcut, a component whose live objects still match the
+        snapshot blob (per the dirty cache) is kept as-is.  Deep-copy
+        snapshots must still fork once to stay private.
 
         The trace and the command log are observational and are *not*
         rewound; use their ``mark``/cursor mechanisms to slice branches.
         """
-        forked = config.fork()
-        self.processes = forked.processes
-        self.network = forked.network
-        self._msg_counter = forked.msg_counter
-        self.event_count = forked.event_count
+        self.counters.restores += 1
+        if not isinstance(config, Configuration):
+            forked = config.fork()
+            self.processes = forked.processes
+            self.network = forked.network
+            self._msg_counter = forked.msg_counter
+            self.event_count = forked.event_count
+            self._config_cache = None
+            self._proc_fp_cache = {}
+            return
+        entry = self._config_cache
+        if (
+            entry is not None
+            and entry[0] is self.processes
+            and entry[1] is self.network
+            and entry[2] == self._proc_versions()
+            and entry[3] == getattr(self.network, "_version", 0)
+            and entry[4] is config.blob
+        ):
+            # the live configuration's exact serialization *is* this
+            # blob: the state already equals the snapshot, keep it
+            self.counters.restore_reuses += 1
+        else:
+            self.processes, self.network = pickle.loads(config.blob)
+            self._config_cache = (
+                self.processes,
+                self.network,
+                self._proc_versions(),
+                getattr(self.network, "_version", 0),
+                config.blob,
+            )
+            self.counters.bytes_restored += len(config.blob)
+            # re-prime the fingerprint cache: the materialized processes
+            # are exactly the state those dumps were computed from, so a
+            # branch off this restore only re-serializes what it touches
+            if config.fp_dumps is not None:
+                self._proc_fp_cache = {
+                    pid: (self.processes[pid], 0, dump)
+                    for pid, dump in config.fp_dumps
+                }
+            else:
+                self._proc_fp_cache = {}
+        self._msg_counter = config.msg_counter
+        self.event_count = config.event_count
+
+    def _structural_message_ids(self):
+        """The network's message placement, structurally (for fingerprints).
+
+        Process ids are mapped to their sorted-order indices so the
+        result is pure ints — ints are never memoized by pickle, so the
+        serialized payload is identity-independent even under the plain
+        (C) pickler.
+        """
+        net = self.network
+        idx = {pid: i for i, pid in enumerate(sorted(self.processes))}
+        return (
+            tuple(
+                sorted(
+                    ((idx[src], idx[dst]), tuple(m.msg_id for m in q))
+                    for (src, dst), q in net.in_transit.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (idx[pid], tuple(m.msg_id for m in msgs))
+                    for pid, msgs in net.income.items()
+                )
+            ),
+        )
+
+    @staticmethod
+    def _dumps_canonical(obj: Any) -> bytes:
+        """Pickle ``obj`` by *value*, blind to identity and set order.
+
+        Fingerprint serializations must be a pure function of the state's
+        values.  A normal pickle is not, on two counts:
+
+        * **Object identity.**  The pickle memo distinguishes a state
+          holding two references to one ``'X0'`` string from a state
+          holding two equal copies — and *which* of those a live
+          simulation holds depends on how it got there
+          (``copy.deepcopy`` returns immutables by identity, so a
+          restored branch keeps referencing the very same interned
+          strings as objects created afterwards, while ``pickle.loads``
+          materializes fresh copies).  Pickle's *fast mode* disables the
+          memo — repeated references are re-serialized inline.  (Fast
+          mode cannot handle cyclic state; protocol state here is plain
+          acyclic data.)
+        * **Set iteration order.**  Sets serialize in hash-table order,
+          which depends on the interpreter's hash seed *and* on the
+          set's construction history — a set rebuilt by ``loads`` can
+          iterate differently from the equal set it was dumped from.
+          :func:`_canonize` rewrites sets and frozensets into sorted
+          form.  (Dicts are insertion-ordered and pickle preserves that
+          order, so they are already deterministic.)
+
+        The canonical rewrite is a light Python walk; the byte emission
+        stays on the C pickler.  (The C pickler alone cannot do this: it
+        fast-paths exact builtin containers before consulting
+        ``reducer_override``, so set order cannot be intercepted there,
+        and fast mode cannot handle cyclic state — protocol state here
+        is plain acyclic data.)
+        """
+        return _fast_dumps(_canonize(obj))
+
+    def _proc_fp_dumps(self) -> List[Tuple[ProcessId, bytes]]:
+        """Canonical per-process state dumps, for :meth:`fingerprint`.
+
+        Each process's state is serialized with :meth:`_dumps_canonical`
+        — deliberately a *different* serialization than the snapshot's
+        combined blob, whose memo encodes object-sharing topology (a
+        strictly finer relation than the value equality the exploration
+        engine has always pruned with).
+
+        Dumps are cached per process on (object identity, dirty
+        counter): every process mutation goes through ``step``/``invoke``
+        (which bump the counter), and :meth:`restore` re-primes the cache
+        from the snapshot's attached dumps — so a fingerprint after
+        restore-plus-one-event re-serializes at most the one process the
+        event touched (none at all for a delivery).
+        """
+        cache = self._proc_fp_cache
+        out: List[Tuple[ProcessId, bytes]] = []
+        for pid in sorted(self.processes):
+            proc = self.processes[pid]
+            version = getattr(proc, "_version", 0)
+            entry = cache.get(pid)
+            if entry is not None and entry[0] is proc and entry[1] == version:
+                self.counters.cache_hits += 1
+                dump = entry[2]
+            else:
+                dump = self._dumps_canonical(proc.__getstate__())
+                cache[pid] = (proc, version, dump)
+                self.counters.cache_misses += 1
+            out.append((pid, dump))
+        return out
+
+    def fingerprint(self, config: Optional["Configuration"] = None) -> bytes:
+        """A content hash of the current configuration, for revisit pruning.
+
+        Covers every process's state plus the structural placement of
+        in-transit and income messages; deliberately *excludes* the event
+        and message counters (and the dirty counters), so configurations
+        reached by different interleavings of the same events collide.
+        Pickle is stable here because all process state is plain Python
+        data and the simulation is deterministic.
+
+        ``config``, when given, must be a snapshot of the *current*
+        configuration (the one-snapshot-per-node pattern takes it anyway);
+        the hash itself is always computed from the live per-process
+        states — see :meth:`_proc_fp_dumps` for why the snapshot's
+        combined blob would hash a finer relation.  As a side effect the
+        per-process dumps are attached to ``config`` (when it is verified
+        to still describe the live state), so restoring it later
+        re-primes the fingerprint cache.
+        """
+        self.counters.fingerprints += 1
+        dumps = self._proc_fp_dumps()
+        if isinstance(config, Configuration) and config.fp_dumps is None:
+            entry = self._config_cache
+            if (
+                entry is not None
+                and entry[0] is self.processes
+                and entry[1] is self.network
+                and entry[2] == self._proc_versions()
+                and entry[3] == getattr(self.network, "_version", 0)
+                and entry[4] is config.blob
+            ):
+                config.fp_dumps = tuple(dumps)
+        payload = pickle.dumps(
+            self._structural_message_ids(), PICKLE_PROTOCOL
+        )
+        h = hashlib.blake2b(digest_size=16)
+        for _pid, dump in dumps:
+            # length-framed: process order is fixed (sorted pids), the
+            # frame keeps dump boundaries unambiguous
+            h.update(len(dump).to_bytes(8, "little"))
+            h.update(dump)
+        h.update(payload)
+        return h.digest()
 
     # -- events -------------------------------------------------------------
 
@@ -96,6 +525,11 @@ class Simulation:
         self.event_count += 1
         ctx = StepContext(pid, neighbors, self.event_count)
         proc.on_step(ctx, inbox)
+        proc.mark_dirty()
+        # conservative: a step may mutate payloads still referenced by the
+        # network (messages travel by reference), so its bytes may change
+        # even when no network mutator ran
+        self.network.mark_dirty()
         sent: List[Message] = []
         for dst, payload in ctx.sends:
             msg = Message(
@@ -143,6 +577,7 @@ class Simulation:
         if on_invoke is None:
             raise TypeError(f"{pid} does not accept invocations")
         on_invoke(txn)
+        proc.mark_dirty()
         self.trace.append(InvokeEvent(index=len(self.trace), pid=pid, txn=txn))
         self.log.append(InvokeCmd(pid, txn))
 

@@ -34,6 +34,22 @@ class Network:
         self.income: Dict[ProcessId, List[Message]] = {p: [] for p in self.pids}
         # per-link send counters, for structural link_seq addressing
         self.link_counts: Dict[Link, int] = {}
+        # dirty counter for the snapshot-serialization cache; bumped by
+        # every mutator, excluded from snapshots (see __getstate__)
+        self._version = 0
+
+    def mark_dirty(self) -> None:
+        """Invalidate any cached serialization of this network."""
+        self._version += 1
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_version", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._version = 0
 
     # -- sending ---------------------------------------------------------
 
@@ -50,6 +66,7 @@ class Network:
             )
         self.link_counts[link] = expected + 1
         self.in_transit.setdefault(link, deque()).append(msg)
+        self._version += 1
 
     # -- delivery --------------------------------------------------------
 
@@ -86,13 +103,16 @@ class Network:
                 if m.link_seq == link_seq:
                     del q[i]
                     self.income[dst].append(m)
+                    self._version += 1
                     return m
         raise KeyError(f"no in-transit message {src}->{dst}#{link_seq}")
 
     def drain_income(self, pid: ProcessId) -> List[Message]:
         """Remove and return every delivered message awaiting ``pid``."""
         msgs = self.income[pid]
-        self.income[pid] = []
+        if msgs:
+            self.income[pid] = []
+            self._version += 1
         return msgs
 
     # -- inspection ------------------------------------------------------

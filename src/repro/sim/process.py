@@ -55,11 +55,34 @@ class Process:
 
     Subclasses implement :meth:`on_step`.  All state must be held in plain
     Python attributes so that :meth:`repro.sim.executor.Simulation.snapshot`
-    (a deep copy) captures the full configuration.
+    (a serialization) captures the full configuration.
+
+    Each process carries a *dirty counter* (``_version``): the executor
+    bumps it after every event applied to the process, and the snapshot
+    machinery reuses a cached serialization as long as the counter is
+    unchanged.  The counter is bookkeeping about the live object, not part
+    of the configuration, so it is excluded from snapshots and
+    fingerprints (see :meth:`__getstate__`).  Code that mutates process
+    state outside of :meth:`on_step` / ``on_invoke`` must call
+    :meth:`mark_dirty` afterwards.
     """
 
     def __init__(self, pid: ProcessId):
         self.pid = pid
+        self._version = 0
+
+    def mark_dirty(self) -> None:
+        """Invalidate any cached serialization of this process."""
+        self._version = getattr(self, "_version", 0) + 1
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_version", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._version = 0
 
     def on_step(self, ctx: StepContext, inbox: Sequence[Message]) -> None:
         """Perform one computation step.

@@ -1,0 +1,293 @@
+"""The fast-fork snapshot machinery: isolation, cost accounting, budgets.
+
+The bytes-snapshot rework (``Configuration`` as one immutable pickle
+blob) must preserve the old deep-copy contract exactly: a snapshot is
+isolated from every future mutation of the live simulation, a restore
+never aliases live state, and the exploration engine's fingerprints
+reproduce the same equivalence classes.  Every contract test here runs
+against both snapshot modes.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explore import _enabled_events, explore_write_read_race
+from repro.core.setup import prepare_theorem_system
+from repro.sim.executor import (
+    Configuration,
+    DeepCopyConfiguration,
+    SimCounters,
+    Simulation,
+    use_snapshot_mode,
+)
+from repro.sim.scheduler import RoundRobinScheduler
+
+from helpers import Echo, Pinger
+
+MODES = ("bytes", "deepcopy")
+
+
+def proc_states(sim):
+    """Pickled per-process protocol state (dirty counters excluded)."""
+    return {
+        pid: pickle.dumps(p.__getstate__()) for pid, p in sim.processes.items()
+    }
+
+
+def run_some(sim, tsys, events=6):
+    sched = RoundRobinScheduler()
+    pids = (tsys.cw,) + tuple(tsys.servers)
+    for _ in range(events):
+        sched.tick(sim, pids=pids)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation on a protocol with nested state (Wren: 2PC prepared
+# maps, write caches, vector frontiers)
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotIsolation:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_live_mutation_does_not_touch_snapshot(self, mode):
+        with use_snapshot_mode(mode):
+            tsys = prepare_theorem_system("wren")
+            sim = tsys.sim
+            sim.invoke(tsys.cw, tsys.tw())
+            run_some(sim, tsys)
+            snap = sim.snapshot()
+            frozen = proc_states(sim)
+            fp = sim.fingerprint(snap)
+            # mutate the live sim well past the snapshot
+            run_some(sim, tsys, events=12)
+            assert proc_states(sim) != frozen  # the run did change state
+            sim.restore(snap)
+            assert proc_states(sim) == frozen
+            assert sim.fingerprint() == fp
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_mutating_restored_state_does_not_touch_snapshot(self, mode):
+        with use_snapshot_mode(mode):
+            tsys = prepare_theorem_system("wren")
+            sim = tsys.sim
+            sim.invoke(tsys.cw, tsys.tw())
+            run_some(sim, tsys)
+            snap = sim.snapshot()
+            frozen = proc_states(sim)
+            sim.restore(snap)
+            run_some(sim, tsys, events=12)  # mutate the restored branch
+            sim.restore(snap)  # the snapshot must still be pristine
+            assert proc_states(sim) == frozen
+
+    def test_materialized_views_are_private(self):
+        # bytes-mode only: a DeepCopyConfiguration hands out the held
+        # objects themselves (the old contract — restore forks, direct
+        # access aliases); the blob snapshot deserializes a private copy
+        # on every access
+        with use_snapshot_mode("bytes"):
+            tsys = prepare_theorem_system("wren")
+            sim = tsys.sim
+            sim.invoke(tsys.cw, tsys.tw())
+            run_some(sim, tsys)
+            snap = sim.snapshot()
+            frozen = proc_states(sim)
+            view = snap.processes
+            # trash the materialized copy; the snapshot must not notice
+            for p in view.values():
+                p.__dict__.clear()
+            sim.restore(snap)
+            assert proc_states(sim) == frozen
+
+    def test_fork_shares_immutable_blob(self):
+        tsys = prepare_theorem_system("wren")
+        sim = tsys.sim
+        snap = sim.snapshot()
+        fork = snap.fork()
+        assert isinstance(snap, Configuration)
+        assert fork.blob is snap.blob  # O(1): no bytes are copied
+        assert fork.size_bytes() == snap.size_bytes() > 0
+
+    def test_deepcopy_fork_is_independent(self):
+        with use_snapshot_mode("deepcopy"):
+            tsys = prepare_theorem_system("wren")
+            sim = tsys.sim
+            snap = sim.snapshot()
+            assert isinstance(snap, DeepCopyConfiguration)
+            fork = snap.fork()
+            assert fork.processes is not snap.processes
+            assert fork.size_bytes() > 0
+
+
+# ---------------------------------------------------------------------------
+# Mode equivalence: the fast path must reproduce the reference exploration
+# ---------------------------------------------------------------------------
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("protocol", ["fastclaim", "cops"])
+    def test_exploration_identical_across_modes(self, protocol):
+        results = {}
+        for mode in MODES:
+            with use_snapshot_mode(mode):
+                r = explore_write_read_race(
+                    protocol, max_depth=14, max_states=4_000
+                )
+            results[mode] = (
+                r.states_visited,
+                r.schedules_completed,
+                r.truncated,
+                sorted(tuple(s) for s, _ in r.violations),
+            )
+        assert results["bytes"] == results["deepcopy"]
+
+
+# ---------------------------------------------------------------------------
+# Cost accounting
+# ---------------------------------------------------------------------------
+
+
+class TestSimCounters:
+    def test_counters_track_snapshot_restore_fingerprint(self):
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        snap = sim.snapshot()
+        sim.fingerprint(snap)
+        sim.step("p")
+        sim.restore(snap)
+        c = sim.counters
+        assert c.snapshots == 1
+        assert c.restores == 1
+        assert c.fingerprints == 1
+        assert c.bytes_serialized > 0
+
+    def test_unchanged_state_reuses_serialization(self):
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        sim.snapshot()
+        before = sim.counters.bytes_serialized
+        sim.snapshot()  # no event in between: the cached blob is reused
+        assert sim.counters.bytes_serialized == before
+        assert sim.counters.cache_hits >= 1
+        assert sim.counters.bytes_reused > 0
+
+    def test_restore_to_current_state_keeps_live_objects(self):
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        snap = sim.snapshot()
+        procs = sim.processes
+        sim.restore(snap)  # nothing happened: live state already matches
+        assert sim.counters.restore_reuses == 1
+        assert sim.processes is procs
+
+    def test_restore_after_event_materializes_fresh_objects(self):
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        snap = sim.snapshot()
+        procs = sim.processes
+        sim.step("p")
+        sim.restore(snap)
+        assert sim.processes is not procs
+        assert sim.counters.bytes_restored > 0
+
+    def test_describe_and_as_dict(self):
+        c = SimCounters(snapshots=3, restores=2, fingerprints=1,
+                        bytes_serialized=100, bytes_reused=300)
+        text = c.describe()
+        assert "3 snapshots" in text and "2 restores" in text
+        d = c.as_dict()
+        assert d["snapshots"] == 3 and d["bytes_reused"] == 300
+
+    def test_exploration_surfaces_counters(self):
+        r = explore_write_read_race("fastclaim", max_depth=10, max_states=500)
+        assert r.counters is not None
+        assert r.counters.snapshots > 0
+        assert "cost:" in r.describe()
+
+
+# ---------------------------------------------------------------------------
+# The max_states budget
+# ---------------------------------------------------------------------------
+
+
+class TestStateBudget:
+    def test_budget_cuts_search_immediately(self):
+        r = explore_write_read_race(
+            "cops", max_depth=22, max_states=200, first_violation_only=False
+        )
+        # the budget check counts the state that overflows it, then stops
+        # all descent: exactly one state past the budget is ever visited
+        assert r.states_visited == 201
+        assert r.truncated >= 1
+
+    def test_budget_truncation_counts_cut_siblings(self):
+        small = explore_write_read_race("cops", max_depth=22, max_states=200)
+        big = explore_write_read_race("cops", max_depth=22, max_states=6_000)
+        assert big.states_visited == 6_001
+        # a deeper budget explores strictly more and truncates elsewhere
+        assert big.schedules_completed > small.schedules_completed
+
+    def test_unbudgeted_run_not_truncated(self):
+        r = explore_write_read_race("fastclaim", max_depth=8, max_states=10**6)
+        # shallow depth truncates, but never via the state budget
+        assert r.states_visited < 10**6
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint properties (hypothesis): equal prefixes agree, any extra
+# event disagrees — this is the property that guards the dirty-tracked
+# fingerprint cache (a missing mark_dirty would serve a stale fingerprint
+# and break the second half)
+# ---------------------------------------------------------------------------
+
+
+def fresh_sim():
+    return Simulation([Pinger("p", "e", n=3), Echo("e")])
+
+
+def apply_choices(sim, choices):
+    """Drive the sim by the explorer's own enabled-event menu."""
+    applied = 0
+    for c in choices:
+        events = _enabled_events(sim, ("p", "e"))
+        if not events:
+            break
+        _, action = events[c % len(events)]
+        if action[0] == "d":
+            sim.deliver(action[1], action[2], action[3])
+        else:
+            sim.step(action[1])
+        applied += 1
+    return applied
+
+
+class TestFingerprintProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=12))
+    def test_same_prefix_same_fingerprint(self, choices):
+        a, b = fresh_sim(), fresh_sim()
+        apply_choices(a, choices)
+        apply_choices(b, choices)
+        assert a.fingerprint() == b.fingerprint()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), max_size=10),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_extra_event_changes_fingerprint(self, choices, extra):
+        sim = fresh_sim()
+        apply_choices(sim, choices)
+        fp = sim.fingerprint()
+        if apply_choices(sim, [extra]) == 0:
+            return  # quiescent: no extra event exists
+        assert sim.fingerprint() != fp
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=10))
+    def test_fingerprint_stable_across_snapshot_restore(self, choices):
+        sim = fresh_sim()
+        apply_choices(sim, choices)
+        snap = sim.snapshot()
+        fp = sim.fingerprint(snap)
+        apply_choices(sim, [0, 1, 2])
+        sim.restore(snap)
+        assert sim.fingerprint() == fp
