@@ -1,30 +1,39 @@
 # Convenience targets; see README.md for details.
+#
+# PYTHONPATH=src on every python invocation so a clean checkout works
+# without `pip install -e .`.
 
-.PHONY: install test test-fast bench bench-smoke examples all
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: install test test-fast lint bench bench-smoke examples all
 
 install:
 	pip install -e . || python setup.py develop  # offline fallback
 
 test:
-	python -m pytest tests/
+	$(PY) -m pytest tests/
 
 test-fast:
-	python -m pytest tests/ -m "not slow"
+	$(PY) -m pytest tests/ -m "not slow"
+
+# static protocol-contract and determinism linter (docs/lint.md)
+lint:
+	$(PY) -m repro.lint src
 
 bench:
-	python -m pytest benchmarks/ --benchmark-only
+	$(PY) -m pytest benchmarks/ --benchmark-only
 
 # fast perf-regression gate: exact exploration counts vs the committed
 # baseline (PYTHONHASHSEED pinned so any failure reproduces bit-for-bit)
 bench-smoke:
-	PYTHONHASHSEED=0 python benchmarks/bench_smoke.py
+	PYTHONHASHSEED=0 $(PY) benchmarks/bench_smoke.py
 
 examples:
-	python examples/quickstart.py
-	python examples/staleness_tradeoff.py
-	python examples/geo_replication.py
-	python examples/social_network.py
-	python examples/protocol_comparison.py
-	python examples/impossibility_demo.py
+	$(PY) examples/quickstart.py
+	$(PY) examples/staleness_tradeoff.py
+	$(PY) examples/geo_replication.py
+	$(PY) examples/social_network.py
+	$(PY) examples/protocol_comparison.py
+	$(PY) examples/impossibility_demo.py
 
-all: install test bench
+all: test lint bench

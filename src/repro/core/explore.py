@@ -79,6 +79,9 @@ def _enabled_events(sim: Simulation, pids: Sequence[ProcessId]):
             )
     for pid in pids:
         proc = sim.processes[pid]
+        # repro-lint: disable=RL402 — the exploration adversary *is* the
+        # scheduler: reading the income buffer to enumerate enabled events
+        # is its job, and it only reads (deliveries go through sim.deliver).
         if sim.network.income[pid] or proc.wants_step():
             events.append((f"step {pid}", ("s", pid)))
     return events

@@ -1,0 +1,35 @@
+"""repro.lint — static protocol-contract and determinism linter.
+
+The dynamic layer of this repository checks *executions*: the one-value
+monitor counts values on live payloads, the Table-1 benchmark measures
+rounds and blocking, the replay harness checks determinism by running
+twice.  This package is the static layer: it reads the *source* of the
+protocol implementations and flags code that could not honestly pass
+those dynamic checks — wall-clock reads, hash-ordered iteration leaking
+into message order, ``ValueEntry`` objects smuggled outside declared
+``value_fields``, registry rows the code contradicts, and state the
+simulator's snapshots cannot see.
+
+Programmatic use::
+
+    from repro.lint import run_lint, load_registry_meta
+    findings, ctx = run_lint(["src/"], registry=load_registry_meta())
+
+Command line::
+
+    python -m repro.lint src/            # or: make lint
+"""
+
+from repro.lint.engine import Finding, LintContext, Rule, run_lint
+from repro.lint.rules import ALL_RULES, rule_catalog
+from repro.lint.rules_contract import load_registry_meta
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "load_registry_meta",
+    "rule_catalog",
+    "run_lint",
+]

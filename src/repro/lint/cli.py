@@ -1,0 +1,109 @@
+"""``python -m repro.lint`` — the command-line entry point.
+
+Exit codes::
+
+    0   no findings
+    1   findings reported
+    2   usage error / nothing to lint
+
+Examples::
+
+    python -m repro.lint src/
+    python -m repro.lint src/repro/protocols --format json
+    python -m repro.lint src/ --select RL1 --ignore RL110
+    python -m repro.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import run_lint
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES, rule_catalog
+from repro.lint.rules_contract import load_registry_meta
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Static protocol-contract and determinism linter for the "
+            "repro tree."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="only report codes matching this prefix (repeatable): RL1, RL302, ...",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="drop codes matching this prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the RL3xx registry cross-checks (no import of the registry)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(code) for code, _, _ in rule_catalog())
+        for code, name, summary in rule_catalog():
+            print(f"{code:<{width}}  {name:<24}  {summary}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro.lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    registry = None if args.no_registry else load_registry_meta()
+    findings, ctx = run_lint(
+        args.paths,
+        rules=ALL_RULES,
+        registry=registry,
+        select=args.select,
+        ignore=args.ignore,
+    )
+    files_scanned = len(ctx.files)
+    if files_scanned == 0 and not findings:
+        print("repro.lint: error: no Python files found", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

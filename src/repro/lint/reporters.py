@@ -1,0 +1,42 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """``path:line:col: CODE message`` lines plus a one-line summary."""
+    out: List[str] = []
+    for f in findings:
+        out.append(f"{f.location}: {f.code} {f.message}")
+    if findings:
+        by_code: Dict[str, int] = {}
+        for f in findings:
+            by_code[f.code] = by_code.get(f.code, 0) + 1
+        breakdown = ", ".join(f"{code}×{n}" for code, n in sorted(by_code.items()))
+        out.append("")
+        out.append(
+            f"{len(findings)} finding(s) in {files_scanned} file(s): {breakdown}"
+        )
+    else:
+        out.append(f"repro.lint: {files_scanned} file(s) clean")
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    """A stable JSON document (schema version 1)."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.code] = counts.get(f.code, 0) + 1
+    doc = {
+        "version": 1,
+        "tool": "repro.lint",
+        "files_scanned": files_scanned,
+        "counts": {code: counts[code] for code in sorted(counts)},
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,341 @@
+"""RL4xx — simulator purity rules.
+
+The executor's configuration machinery (snapshot / restore /
+fingerprint, :mod:`repro.sim.executor`) is sound only if *all* mutable
+state lives in process attributes and the network, and all communication
+flows through the :class:`~repro.sim.process.StepContext` the executor
+hands to each step.  State smuggled through module globals would survive
+``restore()``; messages injected around the StepContext would bypass the
+one-message-per-neighbour rule, the trace and the replay log.
+
+``RL401``
+    A :class:`~repro.sim.process.Process` method mutates a module-level
+    container or declares ``global``/writes module state.  Such state is
+    invisible to snapshots: a restored branch would observe leftovers
+    from a future the exploration engine believes it rewound.
+
+``RL402``
+    Protocol or analysis code constructs a raw
+    :class:`~repro.sim.messages.Message` or touches the network's
+    buffers (``in_transit`` / ``income`` / ``post`` / ``drain_income``)
+    directly.  Messages are minted only by the executor's ``step`` —
+    that is what makes ``msg_id``/``link_seq`` addressing and replay
+    coherent.
+
+``RL403``
+    A ``.send(...)`` whose receiver is not the step's ``StepContext``
+    (nor ``queue_send``, the outbox-aware wrapper).  All sends go
+    through the capability object so the at-most-one-message-per-
+    neighbour rule is enforced in one place.
+
+``RL404``
+    A Process method mutates a received payload (a parameter annotated
+    with a Payload type, or anything reached through ``msg.payload``).
+    Messages are immutable once sent — links "do not modify messages" —
+    and payload objects are shared by reference with the network and
+    the trace, so in-place mutation corrupts history.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import (
+    ClassInfo,
+    FileCtx,
+    Finding,
+    LintContext,
+    Rule,
+    annotation_head,
+)
+
+#: modules whose job *is* minting messages / touching buffers
+SIM_CORE_MODULES = (
+    "repro.sim.executor",
+    "repro.sim.network",
+    "repro.sim.messages",
+    "repro.sim.trace",
+    "repro.sim.replay",
+    "repro.sim.adversaries",
+    "repro.sim.scheduler",
+)
+
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+    }
+)
+
+NETWORK_INTERNALS = frozenset({"in_transit", "income", "post", "drain_income", "link_counts"})
+
+
+def _module_of(fctx: FileCtx) -> str:
+    from repro.lint.engine import _module_name
+
+    return _module_name(fctx.rel)
+
+
+def _process_classes(fctx: FileCtx, ctx: LintContext) -> List[ClassInfo]:
+    out: List[ClassInfo] = []
+    for name in sorted(ctx.index.by_name):
+        for ci in ctx.index.by_name[name]:
+            if ci.rel == fctx.rel and ctx.index.is_subclass(ci, "Process"):
+                out.append(ci)
+    return out
+
+
+def _module_level_mutables(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope to mutable containers."""
+    out: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            mutable = isinstance(value, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("list", "dict", "set", "deque", "defaultdict")
+            )
+            if mutable:
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        out.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if annotation_head(stmt.annotation) in (
+                "List",
+                "Dict",
+                "Set",
+                "dict",
+                "list",
+                "set",
+                "DefaultDict",
+                "Deque",
+            ):
+                out.add(stmt.target.id)
+    return out
+
+
+class ModuleGlobalMutationRule(Rule):
+    code = "RL401"
+    name = "module-global-mutation"
+    summary = "Process method mutates module-global state"
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        mutables = _module_level_mutables(fctx.tree)
+        for ci in _process_classes(fctx, ctx):
+            for mname in sorted(ci.methods):
+                meth = ci.methods[mname]
+                for node in ast.walk(meth):
+                    if isinstance(node, ast.Global):
+                        yield fctx.finding(
+                            self.code,
+                            node,
+                            f"{ci.name}.{mname} declares global — module "
+                            "state is outside snapshots and breaks "
+                            "RC(C, α) restore",
+                        )
+                    elif (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in MUTATOR_METHODS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in mutables
+                    ):
+                        yield fctx.finding(
+                            self.code,
+                            node,
+                            f"{ci.name}.{mname} mutates module-level "
+                            f"{node.func.value.id!r} — process state must "
+                            "live in attributes the snapshot can capture",
+                        )
+                    elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for tgt in targets:
+                            if (
+                                isinstance(tgt, ast.Subscript)
+                                and isinstance(tgt.value, ast.Name)
+                                and tgt.value.id in mutables
+                            ):
+                                yield fctx.finding(
+                                    self.code,
+                                    node,
+                                    f"{ci.name}.{mname} writes into module-"
+                                    f"level {tgt.value.id!r} — invisible to "
+                                    "snapshots",
+                                )
+
+
+class RawMessageRule(Rule):
+    code = "RL402"
+    name = "raw-message"
+    summary = "Message minted / network buffers touched outside the sim core"
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        module = _module_of(fctx)
+        if module in SIM_CORE_MODULES:
+            return
+        for node in ast.walk(fctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Message"
+            ):
+                yield fctx.finding(
+                    self.code,
+                    node,
+                    "raw Message(...) constructed outside the sim core — "
+                    "only Simulation.step mints messages (msg_id/link_seq "
+                    "addressing and replay depend on it)",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in NETWORK_INTERNALS
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "network"
+            ):
+                yield fctx.finding(
+                    self.code,
+                    node,
+                    f"direct access to network.{node.attr} outside the sim "
+                    "core — deliveries and sends must go through the "
+                    "executor",
+                )
+
+
+class SendOutsideContextRule(Rule):
+    code = "RL403"
+    name = "send-outside-context"
+    summary = "send() not routed through the StepContext"
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        module = _module_of(fctx)
+        if module in SIM_CORE_MODULES:
+            return
+        for ci in _process_classes(fctx, ctx):
+            for mname in sorted(ci.methods):
+                meth = ci.methods[mname]
+                ok_receivers = {"ctx"} | {
+                    a.arg
+                    for a in meth.args.args
+                    if annotation_head(a.annotation) == "StepContext"
+                }
+                for node in ast.walk(meth):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "send"
+                    ):
+                        continue
+                    recv = node.func.value
+                    if isinstance(recv, ast.Name) and recv.id in ok_receivers:
+                        continue
+                    yield fctx.finding(
+                        self.code,
+                        node,
+                        f"{ci.name}.{mname} calls .send() on something other "
+                        "than the StepContext — the at-most-one-message-per-"
+                        "neighbour rule is enforced only there",
+                    )
+
+
+class PayloadMutationRule(Rule):
+    code = "RL404"
+    name = "payload-mutation"
+    summary = "received payload mutated in place"
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        payload_names = {ci.name for ci in ctx.index.payload_classes()} | {
+            "Payload",
+            "Message",
+        }
+        for ci in _process_classes(fctx, ctx):
+            for mname in sorted(ci.methods):
+                meth = ci.methods[mname]
+                tainted: Set[str] = {
+                    a.arg
+                    for a in meth.args.args
+                    if annotation_head(a.annotation) in payload_names
+                }
+                # names bound from <msg>.payload
+                for node in ast.walk(meth):
+                    if isinstance(node, ast.Assign) and isinstance(
+                        node.value, ast.Attribute
+                    ):
+                        if (
+                            node.value.attr == "payload"
+                            and isinstance(node.value.value, ast.Name)
+                            and node.value.value.id in tainted
+                        ):
+                            for tgt in node.targets:
+                                if isinstance(tgt, ast.Name):
+                                    tainted.add(tgt.id)
+                if not tainted:
+                    continue
+                yield from self._mutations(fctx, ci, mname, meth, tainted)
+
+    def _mutations(
+        self,
+        fctx: FileCtx,
+        ci: ClassInfo,
+        mname: str,
+        meth: ast.FunctionDef,
+        tainted: Set[str],
+    ) -> Iterator[Finding]:
+        def rooted_in_tainted(expr: ast.expr) -> bool:
+            while isinstance(expr, (ast.Attribute, ast.Subscript)):
+                expr = expr.value
+            return isinstance(expr, ast.Name) and expr.id in tainted
+
+        for node in ast.walk(meth):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for tgt in targets:
+                    if isinstance(
+                        tgt, (ast.Attribute, ast.Subscript)
+                    ) and rooted_in_tainted(tgt):
+                        yield fctx.finding(
+                            self.code,
+                            node,
+                            f"{ci.name}.{mname} mutates a received payload — "
+                            "messages are immutable once sent; copy into "
+                            "server state instead",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+                and isinstance(node.func.value, (ast.Attribute, ast.Subscript))
+                and rooted_in_tainted(node.func.value)
+            ):
+                yield fctx.finding(
+                    self.code,
+                    node,
+                    f"{ci.name}.{mname} calls .{node.func.attr}() on a "
+                    "received payload's state — messages are immutable once "
+                    "sent",
+                )
+
+
+PURITY_RULES = (
+    ModuleGlobalMutationRule(),
+    RawMessageRule(),
+    SendOutsideContextRule(),
+    PayloadMutationRule(),
+)

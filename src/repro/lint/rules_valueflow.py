@@ -1,0 +1,285 @@
+"""RL2xx — value-flow rules.
+
+The one-value property (paper Definition 5, footnote 3) is judged by
+counting the written values a reply carries — and that count is honest
+only if every value crossing the wire is visible to the monitors.  The
+runtime contract (:mod:`repro.protocols.base`): values travel as
+:class:`~repro.protocols.base.ValueEntry` objects reachable through a
+payload field listed in ``Payload.value_fields``.  The dynamic leak
+detector (``tests/test_value_leaks.py``) scans live payloads; these
+rules are its static complement — they catch the smuggling patterns
+before any execution exists.
+
+``RL201``
+    A ``ValueEntry(...)`` constructed inside a server class must flow
+    into a *declared* value field of a payload (directly, via a local
+    name, or via ``.append`` onto a local list that is shipped).  A
+    ValueEntry parked anywhere else — say inside a ``meta`` mapping or
+    a ``ServerMsg.data`` dict — would cross the wire invisible to the
+    one-value monitor.
+
+``RL202``
+    A payload dataclass field whose annotation mentions ``ValueEntry``
+    must be listed in that payload's ``value_fields``.  An undeclared
+    value-bearing field is exactly the hole the monitors cannot see.
+
+``RL203``
+    Every name in ``value_fields`` must be an actual field of the
+    payload class (or its bases).  A typo here silently exempts the
+    field from monitoring.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ClassInfo, FileCtx, Finding, LintContext, Rule
+
+VALUE_ENTRY_RE = re.compile(r"\bValueEntry\b")
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _root_name(expr: ast.expr) -> str:
+    """The leftmost Name an expression hangs off (``g.items()`` → ``g``)."""
+    while True:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            expr = expr.value
+        elif isinstance(expr, ast.Call):
+            expr = expr.func
+        elif isinstance(expr, ast.Subscript):
+            expr = expr.value
+        else:
+            return ""
+
+
+class PayloadFieldDeclarationRule(Rule):
+    code = "RL202"
+    name = "undeclared-value-field"
+    summary = "payload field carries ValueEntry but is not in value_fields"
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        by_rel = {f.rel: f for f in ctx.files}
+        for ci in ctx.index.payload_classes():
+            fctx = by_rel.get(ci.rel)
+            if fctx is None:
+                continue
+            declared = set(ctx.index.effective_value_fields(ci))
+            for fname, ann in sorted(ci.ann_fields.items()):
+                if VALUE_ENTRY_RE.search(ann) and fname not in declared:
+                    node = self._field_node(ci, fname)
+                    yield fctx.finding(
+                        self.code,
+                        node if node is not None else ci.node,
+                        f"{ci.name}.{fname} is annotated {ann!r} but is not "
+                        "declared in value_fields — the one-value monitor "
+                        "cannot see values carried here",
+                    )
+
+    @staticmethod
+    def _field_node(ci: ClassInfo, fname: str) -> Optional[ast.AST]:
+        for stmt in ci.node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == fname
+            ):
+                return stmt
+        return None
+
+
+class ValueFieldsNameRule(Rule):
+    code = "RL203"
+    name = "unknown-value-field"
+    summary = "value_fields names a field the payload does not define"
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        by_rel = {f.rel: f for f in ctx.files}
+        for ci in ctx.index.payload_classes():
+            if ci.value_fields is None:
+                continue
+            fctx = by_rel.get(ci.rel)
+            if fctx is None:
+                continue
+            known = set(ctx.index.effective_ann_fields(ci))
+            for fname in ci.value_fields:
+                if fname not in known:
+                    yield fctx.finding(
+                        self.code,
+                        ci.node,
+                        f"{ci.name}.value_fields names {fname!r} which is not "
+                        "a field of the payload — carried_values() would "
+                        "raise or silently skip it",
+                    )
+
+
+class ServerValueEntryFlowRule(Rule):
+    """RL201: every server-constructed ValueEntry reaches a declared field.
+
+    Intra-procedural by design: a ValueEntry that (a) appears directly
+    inside a value-field keyword of a payload constructor, (b) is bound
+    to a local that some payload constructor ships in a value field, or
+    (c) is returned / yielded to the caller (the caller is then
+    checked at *its* construction site) is considered accounted for.
+    Anything else — stored into ``meta``/``data`` mappings, attached to
+    a non-value field, or simply dropped into an attribute that later
+    serializes into a message — is flagged.
+    """
+
+    code = "RL201"
+    name = "value-entry-flow"
+    summary = "server-constructed ValueEntry does not reach a declared value field"
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        index = ctx.index
+        payload_fields: Dict[str, Tuple[str, ...]] = {
+            ci.name: index.effective_value_fields(ci)
+            for ci in index.payload_classes()
+        }
+        for node in ast.walk(fctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            ci = None
+            for cand in index.by_name.get(node.name, []):
+                if cand.rel == fctx.rel:
+                    ci = cand
+                    break
+            if ci is None or not index.is_subclass(ci, "ServerBase"):
+                continue
+            for meth in sorted(ci.methods):
+                yield from self._check_method(
+                    fctx, ci.methods[meth], payload_fields
+                )
+
+    # -- per-method flow ----------------------------------------------------
+
+    def _check_method(
+        self,
+        fctx: FileCtx,
+        meth: ast.FunctionDef,
+        payload_fields: Dict[str, Tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        creations = [
+            node
+            for node in ast.walk(meth)
+            if isinstance(node, ast.Call) and _call_name(node.func) == "ValueEntry"
+        ]
+        if not creations:
+            return
+        shipped_names = self._names_shipped_in_value_fields(meth, payload_fields)
+        for call in creations:
+            if self._is_accounted(fctx, call, payload_fields, shipped_names):
+                continue
+            yield fctx.finding(
+                self.code,
+                call,
+                "ValueEntry constructed here never reaches a payload field "
+                "declared in value_fields — values must not cross the wire "
+                "outside declared fields (footnote 3)",
+            )
+
+    @staticmethod
+    def _value_field_exprs(
+        call: ast.Call, payload_fields: Dict[str, Tuple[str, ...]]
+    ) -> List[ast.expr]:
+        """Argument expressions of ``call`` that land in declared value fields."""
+        name = _call_name(call.func)
+        fields = payload_fields.get(name)
+        if not fields:
+            return []
+        out: List[ast.expr] = []
+        for kw in call.keywords:
+            if kw.arg in fields:
+                out.append(kw.value)
+        return out
+
+    def _names_shipped_in_value_fields(
+        self, meth: ast.FunctionDef, payload_fields: Dict[str, Tuple[str, ...]]
+    ) -> Set[str]:
+        """Local names that some payload constructor ships as values.
+
+        Closed over iteration: if ``items`` is shipped and bound by
+        ``for server, items in groups.items()``, then ``groups`` is a
+        shipped container too (the setdefault/append accumulation idiom).
+        """
+        shipped: Set[str] = set()
+        for node in ast.walk(meth):
+            if isinstance(node, ast.Call):
+                for expr in self._value_field_exprs(node, payload_fields):
+                    for sub in ast.walk(expr):
+                        if isinstance(sub, ast.Name):
+                            shipped.add(sub.id)
+        for _ in range(3):
+            grew = False
+            for node in ast.walk(meth):
+                if not isinstance(node, (ast.For, ast.comprehension)):
+                    continue
+                target, source = node.target, node.iter
+                bound = {
+                    n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+                }
+                if not bound & shipped:
+                    continue
+                root = _root_name(source)
+                if root and root not in shipped:
+                    shipped.add(root)
+                    grew = True
+            if not grew:
+                break
+        return shipped
+
+    def _is_accounted(
+        self,
+        fctx: FileCtx,
+        call: ast.Call,
+        payload_fields: Dict[str, Tuple[str, ...]],
+        shipped_names: Set[str],
+    ) -> bool:
+        # (a) directly inside a value-field argument of a payload ctor
+        child: ast.AST = call
+        for anc in fctx.ancestors(call):
+            if isinstance(anc, ast.Call):
+                for expr in self._value_field_exprs(anc, payload_fields):
+                    if child is expr or call in ast.walk(expr):
+                        return True
+            if isinstance(anc, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return True  # (c) escapes to the caller's construction site
+            if isinstance(anc, ast.stmt):
+                stmt = anc
+                break
+            child = anc
+        else:
+            return False
+        # (b) bound to a name (or appended to a list) that gets shipped
+        if isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name) and tgt.id in shipped_names:
+                    return True
+                # Version-store installs assign/keep entries locally;
+                # a ``self.store``-style assignment is state, not wire
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("append", "extend", "add")
+                and _root_name(func.value) in shipped_names
+            ):
+                return True
+        return False
+
+
+VALUEFLOW_RULES = (
+    ServerValueEntryFlowRule(),
+    PayloadFieldDeclarationRule(),
+    ValueFieldsNameRule(),
+)

@@ -398,7 +398,7 @@ class OccultClient(ClientBase):
             if not invalid:
                 self.finish(ctx)
                 return
-            for obj in invalid:
+            for obj in sorted(invalid):  # deterministic across hash seeds
                 retries[obj] = retries.get(obj, 0) + 1
                 stamps_seen.pop(obj, None)
                 active.reads.pop(obj, None)

@@ -1,0 +1,9 @@
+"""The one fixture that must lint clean: a justified suppression."""
+
+import time
+
+
+def wall_elapsed(start: float) -> float:
+    # repro-lint: disable=RL101 — this measures *benchmark harness* wall
+    # time for progress reporting, never simulated time.
+    return time.time() - start

@@ -1,0 +1,7 @@
+"""RL001: a suppression without a justification."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=RL101

@@ -1,0 +1,9 @@
+"""RL101: wall-clock reads in simulation code."""
+
+import time
+from time import monotonic
+
+
+def latency() -> float:
+    start = monotonic()
+    return time.time() - start

@@ -1,0 +1,8 @@
+"""RL102: draws from the process-global RNG."""
+
+import random
+
+
+def jitter(delays):
+    random.shuffle(delays)
+    return delays[0] * random.random()

@@ -1,0 +1,8 @@
+"""RL103: id() in hash- and order-sensitive positions."""
+
+
+def index_by_address(entries):
+    table = {}
+    for e in entries:
+        table[id(e)] = e
+    return sorted(entries, key=id)

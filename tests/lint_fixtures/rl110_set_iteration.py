@@ -1,0 +1,9 @@
+"""RL110: unsorted set iteration feeding an order-sensitive sink."""
+
+
+def emit(ctx, keys: set):
+    order = []
+    for k in keys:
+        order.append(k)
+    for dst in {"s0", "s1", "s2"}:
+        ctx.send(dst, tuple(order))

@@ -1,0 +1,7 @@
+"""RL201: a server-made ValueEntry smuggled outside declared value fields."""
+
+
+class LeakyServer(ServerBase):  # noqa: F821 — parsed, never imported
+    def handle_read(self, ctx, msg, req):
+        entry = ValueEntry(obj="x", value="v", ts=(0, 0), txid="t")  # noqa: F821
+        self.queue_send(msg.src, ServerMsg(kind="leak", data={"v": entry}))  # noqa: F821

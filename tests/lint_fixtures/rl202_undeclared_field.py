@@ -1,0 +1,12 @@
+"""RL202: a payload field carries ValueEntry but is not in value_fields."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SmugglingReply(Payload):  # noqa: F821 — parsed, never imported
+    values: Tuple["ValueEntry", ...] = ()
+    extra: Tuple["ValueEntry", ...] = ()
+
+    value_fields = ("values",)

@@ -1,0 +1,11 @@
+"""RL203: value_fields names a field the payload does not define."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TypoReply(Payload):  # noqa: F821 — parsed, never imported
+    values: Tuple[str, ...] = ()
+
+    value_fields = ("values", "valeus")

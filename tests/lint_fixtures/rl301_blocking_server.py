@@ -1,0 +1,15 @@
+"""RL301: this class shadows a registered server (cops_snow) whose
+PaperRow claims non-blocking reads, yet its read path defers the reply
+into server state with no trivially-true can_serve."""
+
+
+class CopsSnowServer:
+    def can_serve(self, snap):
+        return snap <= self.stable
+
+    def handle_read(self, ctx, msg, req):
+        snap = req.meta["snap"]
+        if not self.can_serve(snap):
+            self.deferred_reads.append((msg.src, req))
+            return
+        self.reply(ctx, msg.src, req)

@@ -1,0 +1,13 @@
+"""RL302: this class shadows a registered client (spanner) whose
+PaperRow claims one-round reads, yet its reply handler can issue a
+fresh ReadRequest — a multi-round read loop."""
+
+
+class SpannerClient:
+    def handle_message(self, ctx, msg):
+        if msg.payload.kind == "retry":
+            self._retry(ctx, msg.payload.keys)
+
+    def _retry(self, ctx, keys):
+        for server in self.placement(keys):
+            ctx.send(server, ReadRequest(txid=self.txid, keys=keys))  # noqa: F821

@@ -1,0 +1,8 @@
+"""RL303: this class shadows a registered client (orbe) whose PaperRow
+claims no write transactions, yet validate() accepts every transaction
+instead of raising UnsupportedTransaction for multi-object writes."""
+
+
+class OrbeClient:
+    def validate(self, txn):
+        return txn

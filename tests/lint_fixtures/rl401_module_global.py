@@ -1,0 +1,11 @@
+"""RL401: process state smuggled through module globals."""
+
+_SEEN = {}
+_TOTAL = 0
+
+
+class CountingProcess(Process):  # noqa: F821 — parsed, never imported
+    def on_step(self, ctx):
+        global _TOTAL
+        _TOTAL += 1
+        _SEEN[self.pid] = _TOTAL

@@ -1,0 +1,6 @@
+"""RL402: a raw Message minted (and buffers touched) outside the sim core."""
+
+
+def inject(sim, src, dst, payload):
+    msg = Message(src=src, dst=dst, payload=payload, msg_id=0, link_seq=0)  # noqa: F821
+    sim.network.in_transit.append(msg)

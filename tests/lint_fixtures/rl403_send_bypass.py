@@ -1,0 +1,6 @@
+"""RL403: a send that bypasses the StepContext."""
+
+
+class ChattyProcess(Process):  # noqa: F821 — parsed, never imported
+    def on_step(self, ctx):
+        self.transport.send(self.peer, "hello")

@@ -1,0 +1,8 @@
+"""RL404: a received payload mutated in place."""
+
+
+class GrabbyProcess(Process):  # noqa: F821 — parsed, never imported
+    def handle_message(self, ctx, msg: Message):  # noqa: F821
+        p = msg.payload
+        p.meta["seen"] = True
+        p.values.append("stolen")

@@ -1,0 +1,225 @@
+"""Tests for repro.lint: fixtures, suppressions, reporters, CLI — and the
+meta-test that the repository's own source lints clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, load_registry_meta, rule_catalog, run_lint
+from repro.lint.reporters import render_json, render_text
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "lint_fixtures"
+SRC = REPO / "src"
+
+FIXTURE_CODES = [
+    "RL001",
+    "RL101",
+    "RL102",
+    "RL103",
+    "RL110",
+    "RL201",
+    "RL202",
+    "RL203",
+    "RL301",
+    "RL302",
+    "RL303",
+    "RL401",
+    "RL402",
+    "RL403",
+    "RL404",
+]
+
+
+def fixture_for(code: str) -> Path:
+    matches = sorted(FIXTURES.glob(f"{code.lower()}_*.py"))
+    assert len(matches) == 1, f"expected exactly one fixture for {code}"
+    return matches[0]
+
+
+def lint_paths(*paths, registry="load"):
+    if registry == "load":
+        registry = load_registry_meta()
+    findings, ctx = run_lint([str(p) for p in paths], registry=registry)
+    return findings
+
+
+# -- every rule code has a fixture that triggers it -------------------------
+
+
+@pytest.mark.parametrize("code", FIXTURE_CODES)
+def test_fixture_triggers_its_code(code):
+    findings = lint_paths(fixture_for(code))
+    codes = {f.code for f in findings}
+    assert code in codes, f"{fixture_for(code).name} produced {codes}"
+
+
+@pytest.mark.parametrize("code", FIXTURE_CODES)
+def test_cli_exits_nonzero_on_fixture(code):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(fixture_for(code))],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert code in proc.stdout
+
+
+def test_every_rule_code_is_fixture_covered():
+    """New rules must ship a fixture: catalog codes ⊆ fixture codes."""
+    catalog_codes = {code for code, _, _ in rule_catalog()}
+    # RL000 (unreadable/syntax-error file) is exercised separately below
+    assert catalog_codes - {"RL000"} == set(FIXTURE_CODES)
+
+
+def test_syntax_error_reported_as_rl000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint_paths(bad, registry=None)
+    assert [f.code for f in findings] == ["RL000"]
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+def test_justified_suppression_silences_finding():
+    assert lint_paths(FIXTURES / "clean_suppressed.py") == []
+
+
+def test_bare_suppression_silences_target_but_reports_rl001():
+    findings = lint_paths(fixture_for("RL001"))
+    codes = [f.code for f in findings]
+    assert codes == ["RL001"], codes  # RL101 silenced, the bare comment flagged
+
+
+def test_rl001_cannot_be_suppressed(tmp_path):
+    f = tmp_path / "meta.py"
+    f.write_text(
+        "import time\n"
+        "# repro-lint: disable=RL001\n"
+        "x = time.time()  # repro-lint: disable=RL101\n"
+    )
+    codes = [fi.code for fi in lint_paths(f, registry=None)]
+    # both bare suppressions are flagged; neither silences RL001
+    assert codes == ["RL001", "RL001"]
+
+
+def test_suppression_on_line_above(tmp_path):
+    f = tmp_path / "above.py"
+    f.write_text(
+        "import time\n"
+        "# repro-lint: disable=RL101 — harness wall time, not sim time\n"
+        "x = time.time()\n"
+    )
+    assert lint_paths(f, registry=None) == []
+
+
+# -- select / ignore --------------------------------------------------------
+
+
+def test_select_and_ignore_filter_by_prefix():
+    path = fixture_for("RL101")
+    findings, _ = run_lint([str(path)], select=["RL2"])
+    assert findings == []
+    findings, _ = run_lint([str(path)], ignore=["RL1"])
+    assert [f.code for f in findings] == []
+
+
+# -- reporters --------------------------------------------------------------
+
+
+def test_text_reporter_format():
+    findings = lint_paths(fixture_for("RL101"))
+    text = render_text(findings, files_scanned=1)
+    first = text.splitlines()[0]
+    # path:line:col: CODE message
+    path, line, col, rest = first.split(":", 3)
+    assert path.endswith("rl101_wall_clock.py")
+    assert int(line) > 0 and int(col) > 0
+    assert rest.strip().startswith("RL101 ")
+    assert "finding(s)" in text.splitlines()[-1]
+
+
+def test_json_reporter_schema():
+    findings = lint_paths(fixture_for("RL102"))
+    doc = json.loads(render_json(findings, files_scanned=1))
+    assert doc["version"] == 1
+    assert doc["tool"] == "repro.lint"
+    assert doc["files_scanned"] == 1
+    assert set(doc["counts"]) == {"RL102"}
+    assert sum(doc["counts"].values()) == len(doc["findings"])
+    for item in doc["findings"]:
+        assert set(item) == {"code", "path", "line", "col", "message"}
+        assert item["code"] == "RL102"
+
+
+def test_findings_are_sorted_and_stable():
+    findings = lint_paths(*(fixture_for(c) for c in ("RL101", "RL102", "RL110")))
+    keys = [f.sort_key() for f in findings]
+    assert keys == sorted(keys)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_clean_file_exits_zero():
+    proc = _run_cli(str(FIXTURES / "clean_suppressed.py"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_no_paths_exits_two():
+    assert _run_cli().returncode == 2
+
+
+def test_cli_nothing_to_lint_exits_two(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert _run_cli(str(empty)).returncode == 2
+
+
+def test_cli_json_output_parses():
+    proc = _run_cli(str(fixture_for("RL103")), "--format", "json")
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["tool"] == "repro.lint"
+    assert "RL103" in doc["counts"]
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in FIXTURE_CODES:
+        assert code in proc.stdout
+
+
+# -- the meta-test: this repository lints clean -----------------------------
+
+
+def test_repository_source_is_lint_clean():
+    findings = lint_paths(SRC)
+    assert findings == [], "\n".join(
+        f"{f.location}: {f.code} {f.message}" for f in findings
+    )
+
+
+def test_rule_codes_unique_and_well_formed():
+    codes = [r.code for r in ALL_RULES]
+    assert len(codes) == len(set(codes))
+    for code in codes:
+        assert code.startswith("RL") and len(code) == 5 and code[2:].isdigit()
