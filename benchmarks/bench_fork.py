@@ -8,9 +8,10 @@ explores the *identical* state space (same states visited, same
 schedules, same violations) at several times lower wall-clock time.
 
 Both levels emit machine-readable JSON (``BENCH_fork.json``,
-``BENCH_explore.json``) under ``benchmarks/results/`` so the perf
-trajectory of the fork path stays visible across PRs; ``make
-bench-smoke`` checks the committed state counts on every run.
+``BENCH_fork_macro.json``) under ``benchmarks/results/`` so the perf
+trajectory of the fork path stays visible across PRs (the exploration
+matrix itself lives in ``bench_explore.py`` / ``BENCH_explore.json``);
+``make bench-smoke`` checks the committed state counts on every run.
 """
 
 import json
@@ -24,7 +25,7 @@ from repro.sim.scheduler import RoundRobinScheduler
 
 MODES = ("bytes", "deepcopy")
 
-#: the same workloads as bench_explore.py
+#: the same workloads as the bench_smoke baselines
 MACRO_CONFIGS = [
     ("fastclaim", dict(max_depth=30, max_states=60_000), True),
     ("cops", dict(max_depth=22, max_states=6_000), False),
@@ -128,7 +129,7 @@ def test_explore_modes_identical_and_faster(benchmark):
         entry["identical"] = True
         entry["speedup"] = round(ref["seconds"] / fast["seconds"], 2)
         assert entry["speedup"] >= 2.0, entry
-    save_json("BENCH_explore", report)
+    save_json("BENCH_fork_macro", report)
     rows = [
         [
             e["protocol"],

@@ -1,13 +1,15 @@
 """A one-minute perf-regression smoke for the state-space engines.
 
-Runs the two canonical model-checker workloads on the fast (bytes)
-snapshot path and checks the exploration *counts* against the committed
-baseline: the state partition is a pure function of protocol state
-values (see ``Simulation._dumps_canonical``), so ``states_visited`` and
+Runs canonical model-checker workloads across the engine's knobs
+(strategy, partial-order reduction, parallel workers) on the fast
+(bytes) snapshot path and checks the exploration *counts* against the
+committed baseline: the state partition is a pure function of protocol
+state values (strict fingerprints) or of their trace-canonical quotient
+(POR fingerprints), so ``states_visited`` / ``states_deduped`` /
 ``schedules_completed`` are exact, machine-independent invariants — any
-drift means the fork/fingerprint machinery changed behaviour, not just
-speed.  Wall-clock time and the SimCounters cost ledger are printed for
-eyeballing but never asserted (they are machine-dependent).
+drift means the fork/fingerprint/reduction machinery changed behaviour,
+not just speed.  Wall-clock time and the SimCounters cost ledger are
+printed for eyeballing but never asserted (they are machine-dependent).
 
 Run via ``make bench-smoke`` (which pins ``PYTHONHASHSEED`` — the counts
 no longer depend on it, but a pinned seed keeps any future regression
@@ -24,13 +26,44 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.explore import explore_write_read_race  # noqa: E402
 
-#: (protocol, params) -> exact expected counts on the bytes path
+#: label -> (protocol, engine kwargs, exact expected counts)
 BASELINES = {
-    ("fastclaim", 30, 60_000): dict(
-        states_visited=22_575, schedules_completed=1_003, violations=1
+    "fastclaim dfs": (
+        "fastclaim",
+        dict(max_depth=30, max_states=60_000),
+        dict(states_visited=437, states_deduped=456,
+             schedules_completed=79, violations=1, truncated=0),
     ),
-    ("cops", 22, 6_000): dict(
-        states_visited=6_001, schedules_completed=481, violations=0
+    "fastclaim dfs+por": (
+        "fastclaim",
+        dict(max_depth=30, max_states=60_000, por=True),
+        dict(states_visited=128, states_deduped=50,
+             schedules_completed=4, violations=1, truncated=0),
+    ),
+    "fastclaim dfs+por+w2": (
+        "fastclaim",
+        dict(max_depth=30, max_states=60_000, por=True, workers=2),
+        dict(states_visited=133, states_deduped=57,
+             schedules_completed=4, violations=1, truncated=0),
+    ),
+    "fastclaim dfs+por exhaustive": (
+        "fastclaim",
+        dict(max_depth=30, max_states=60_000, por=True,
+             first_violation_only=False),
+        dict(states_visited=1_416, states_deduped=554,
+             schedules_completed=24, violations=12, truncated=0),
+    ),
+    "cops dfs (budget)": (
+        "cops",
+        dict(max_depth=22, max_states=6_000),
+        dict(states_visited=6_001, states_deduped=6_288,
+             schedules_completed=1_021, violations=0, truncated=28),
+    ),
+    "cops dfs+por": (
+        "cops",
+        dict(max_depth=22, max_states=6_000, por=True),
+        dict(states_visited=515, states_deduped=174,
+             schedules_completed=15, violations=0, truncated=0),
     ),
 }
 
@@ -62,21 +95,20 @@ def fork_machinery_smoke() -> bool:
 def main() -> int:
     failures = 0
     failures += not fork_machinery_smoke()
-    for (proto, depth, states), expect in BASELINES.items():
+    for label, (proto, kwargs, expect) in BASELINES.items():
         t0 = time.perf_counter()
-        r = explore_write_read_race(proto, max_depth=depth, max_states=states)
+        r = explore_write_read_race(proto, **kwargs)
         dt = time.perf_counter() - t0
         got = dict(
             states_visited=r.states_visited,
+            states_deduped=r.states_deduped,
             schedules_completed=r.schedules_completed,
             violations=len(r.violations),
+            truncated=r.truncated,
         )
         ok = got == expect
         failures += not ok
-        print(
-            f"{'ok  ' if ok else 'FAIL'} {proto} depth={depth} "
-            f"budget={states}: {got} in {dt:.1f}s"
-        )
+        print(f"{'ok  ' if ok else 'FAIL'} {label}: {got} in {dt:.1f}s")
         if not ok:
             print(f"     expected {expect}")
         print(f"     cost: {r.counters.describe()}")

@@ -9,6 +9,7 @@
     python -m repro figure 3                     # regenerate a figure
     python -m repro workload wren --txns 100     # run + characterize
     python -m repro check cops_snow              # consistency spot-check
+    python -m repro explore fastclaim --por      # schedule-space search
 
 Every command is deterministic given ``--seed``.
 """
@@ -188,6 +189,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core.explore import explore_write_read_race
+
+    result = explore_write_read_race(
+        args.protocol,
+        max_depth=args.max_depth,
+        max_states=args.max_states,
+        checker=args.checker,
+        strategy=args.strategy,
+        por=args.por,
+        workers=args.workers,
+        **_proto_params(args),
+    )
+    print(result.describe())
+    return 1 if result.violation_found else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro import Store
 
@@ -268,6 +286,26 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--epsilon", type=int, default=None)
     tr.add_argument("--sync-every", type=int, default=None)
     tr.set_defaults(fn=cmd_trace)
+
+    e = sub.add_parser(
+        "explore",
+        help="exhaustively explore the write/read-race schedule space",
+    )
+    e.add_argument("protocol")
+    e.add_argument("--strategy", choices=("dfs", "bfs", "random"), default="dfs")
+    e.add_argument("--por", dest="por", action="store_true", default=False,
+                   help="partial-order reduction (POR-safe protocols only)")
+    e.add_argument("--no-por", dest="por", action="store_false")
+    e.add_argument("--workers", type=int, default=1,
+                   help="parallel frontier worker processes")
+    e.add_argument("--checker", choices=("causal", "read-atomic"),
+                   default="causal")
+    e.add_argument("--max-depth", type=int, default=40)
+    e.add_argument("--max-states", type=int, default=50_000)
+    e.add_argument("--sync-hops", type=int, default=None)
+    e.add_argument("--epsilon", type=int, default=None)
+    e.add_argument("--sync-every", type=int, default=None)
+    e.set_defaults(fn=cmd_explore)
 
     c = sub.add_parser("check", help="quick consistency spot-check")
     c.add_argument("protocol")

@@ -23,19 +23,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.engine.outcome import SearchOutcome
 from repro.txn.types import BOTTOM, ObjectId, TxnRecord, Value
 
 
 @dataclass
-class SearchResult:
-    found: bool
+class SearchResult(SearchOutcome):
+    """Serialization-search outcome, in the engine's budget vocabulary.
+
+    ``steps`` and ``exhausted`` come from :class:`SearchOutcome`;
+    ``exhausted_budget`` stays as a read alias for existing callers.
+    """
+
+    found: bool = False
     order: Optional[List[str]] = None  # txids, when found
-    steps: int = 0
-    exhausted_budget: bool = False
+
+    @property
+    def exhausted_budget(self) -> bool:
+        return self.exhausted
 
     @property
     def conclusive(self) -> bool:
-        return self.found or not self.exhausted_budget
+        return self.found or not self.exhausted
 
 
 def find_legal_serialization(
@@ -133,4 +142,4 @@ def find_legal_serialization(
         return SearchResult(
             found=True, order=[records[i].txid for i in order_out], steps=steps
         )
-    return SearchResult(found=False, steps=steps, exhausted_budget=budget_hit)
+    return SearchResult(found=False, steps=steps, exhausted=budget_hit)

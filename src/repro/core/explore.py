@@ -2,89 +2,29 @@
 
 The proof-guided engine (:mod:`repro.core.induction`) knows *which*
 adversary schedule exposes a protocol; this module instead enumerates
-**every** adversary schedule of a small scenario — a depth-first search
-over the tree of enabled events, using configuration snapshots to branch
-and configuration fingerprints to prune revisits — and checks every
-completed history for causal anomalies.
+**every** adversary schedule of a small scenario and checks every
+completed history for anomalies.  On a two-server scenario with one
+multi-object write and one fast ROT it *proves* (within the scope) that
+COPS-SNOW has no violating schedule and *finds* FastClaim's violating
+schedules without being told where to look.
 
-On a two-server scenario with one multi-object write and one fast ROT it
-*proves* (within the scope) that COPS-SNOW has no violating schedule and
-*finds* FastClaim's violating schedules without being told where to look.
-The benchmark compares the two approaches: the model checker visits
-hundreds of states; the proof engine constructs one splice.
+The search itself lives in :mod:`repro.engine` — a common frontier core
+with DFS/BFS/random strategies, sleep-set partial-order reduction and a
+parallel frontier; this module is the scenario-level wrapper: it invokes
+the script, picks the adversary's process set, and forwards the knobs.
+:class:`ExplorationResult` is re-exported from the engine so existing
+callers keep importing it from here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Sequence, Tuple
 
-from repro.consistency.causal import find_causal_anomalies
+from repro.engine import ExplorationResult, run as engine_run
 from repro.protocols.base import System
-from repro.sim.executor import SimCounters, Simulation
-from repro.sim.messages import ProcessId
-from repro.txn.client import ClientBase
-from repro.txn.history import build_history
 from repro.txn.types import Transaction
 
-
-@dataclass
-class ExplorationResult:
-    """Outcome of an exhaustive exploration."""
-
-    protocol: str
-    states_visited: int
-    schedules_completed: int
-    truncated: int  # branches cut by the depth or state budget
-    violations: List[Tuple[List[str], List]] = field(default_factory=list)
-    #: snapshot/restore cost accounting for the run (see SimCounters)
-    counters: Optional[SimCounters] = None
-
-    @property
-    def violation_found(self) -> bool:
-        return bool(self.violations)
-
-    def describe(self) -> str:
-        head = (
-            f"{self.protocol}: explored {self.states_visited} states, "
-            f"{self.schedules_completed} complete schedules, "
-            f"{self.truncated} truncated"
-        )
-        if not self.violations:
-            lines = [head + " — no causal violation in scope"]
-        else:
-            sched, anomalies = self.violations[0]
-            lines = [head + f" — {len(self.violations)} violating schedule(s)"]
-            lines.append("  first violating schedule:")
-            for s in sched:
-                lines.append(f"    {s}")
-            for a in anomalies[:2]:
-                lines.append(f"  anomaly: {a.describe()}")
-        if self.counters is not None:
-            lines.append(f"  cost: {self.counters.describe()}")
-        return "\n".join(lines)
-
-
-def _enabled_events(sim: Simulation, pids: Sequence[ProcessId]):
-    """All enabled (label, apply) choices for the adversary."""
-    events = []
-    allowed = set(pids)
-    for m in sim.network.pending():
-        if m.dst in allowed:
-            events.append(
-                (
-                    f"deliver {m.src}->{m.dst}#{m.link_seq}",
-                    ("d", m.src, m.dst, m.link_seq),
-                )
-            )
-    for pid in pids:
-        proc = sim.processes[pid]
-        # repro-lint: disable=RL402 — the exploration adversary *is* the
-        # scheduler: reading the income buffer to enumerate enabled events
-        # is its job, and it only reads (deliveries go through sim.deliver).
-        if sim.network.income[pid] or proc.wants_step():
-            events.append((f"step {pid}", ("s", pid)))
-    return events
+__all__ = ["ExplorationResult", "explore", "explore_write_read_race"]
 
 
 def explore(
@@ -94,6 +34,10 @@ def explore(
     max_states: int = 50_000,
     first_violation_only: bool = True,
     checker: str = "causal",
+    strategy: str = "dfs",
+    por: bool = False,
+    workers: int = 1,
+    rng_seed: int = 0,
 ) -> ExplorationResult:
     """Exhaustively explore every schedule of ``script`` on ``system``.
 
@@ -106,89 +50,26 @@ def explore(
     which the impossibility holds: it lets the explorer hunt for
     schedules where a "fast" protocol breaks read atomicity, a strictly
     weaker level than causal consistency.
+
+    ``strategy``, ``por`` and ``workers`` forward to the engine:
+    sleep-set partial-order reduction keeps one representative per
+    Mazurkiewicz trace (identical verdicts, far fewer states), and
+    ``workers > 1`` fans subtree roots out to worker processes.
     """
     sim = system.sim
-    pids = tuple(system.clients) + tuple(system.service_pids)
     for client, txn in script:
         sim.invoke(client, txn)
-
-    result = ExplorationResult(protocol=system.info.name, states_visited=0,
-                               schedules_completed=0, truncated=0)
-    seen: Set[bytes] = set()
-    trail: List[str] = []
-    exhausted = False  # global state budget spent: short-circuit all descent
-
-    def all_done() -> bool:
-        return all(
-            isinstance(p, ClientBase) and p.current is None and not p.pending
-            for p in (sim.processes[c] for c in system.clients)
-        )
-
-    if checker == "causal":
-        find_anomalies = find_causal_anomalies
-    elif checker == "read-atomic":
-        from repro.consistency.atomicity import find_fractured_reads
-
-        find_anomalies = find_fractured_reads
-    else:
-        raise ValueError(f"unknown checker {checker!r}")
-
-    def check_leaf() -> None:
-        result.schedules_completed += 1
-        hist = build_history(sim, clients=system.clients)
-        anomalies = find_anomalies(hist)
-        if anomalies:
-            result.violations.append((list(trail), anomalies))
-
-    def dfs(depth: int) -> bool:
-        """Returns True to abort the whole search (first violation)."""
-        nonlocal exhausted
-        result.states_visited += 1
-        if result.states_visited > max_states:
-            # budget spent: cut this branch once and stop all further
-            # descent (the exhausted flag unwinds the sibling loops too)
-            exhausted = True
-            result.truncated += 1
-            return False
-        events = _enabled_events(sim, pids)
-        if not events:
-            if all_done():
-                check_leaf()
-                return first_violation_only and result.violation_found
-            return False  # stuck without finishing: not a legal maximal run
-        if depth >= max_depth:
-            result.truncated += 1
-            return False
-        # one snapshot per node: every child branch mutates the live sim
-        # and restores from this same (immutable) snapshot afterwards.
-        # Fingerprinting right after the snapshot also attaches the
-        # per-process fingerprint dumps to it, so each child restore
-        # re-primes the fingerprint cache and the child's fingerprint
-        # only re-serializes what its one event touched.
-        snap = sim.snapshot()
-        fp = sim.fingerprint(snap)
-        if fp in seen:
-            return False
-        seen.add(fp)
-        for i, (label, action) in enumerate(events):
-            if action[0] == "d":
-                sim.deliver(action[1], action[2], action[3])
-            else:
-                sim.step(action[1])
-            trail.append(label)
-            abort = dfs(depth + 1)
-            trail.pop()
-            sim.restore(snap)
-            if abort:
-                return True
-            if exhausted:
-                result.truncated += len(events) - 1 - i  # cut siblings
-                return False
-        return False
-
-    dfs(0)
-    result.counters = replace(sim.counters)
-    return result
+    return engine_run(
+        system,
+        checker=checker,
+        strategy=strategy,
+        por=por,
+        workers=workers,
+        max_depth=max_depth,
+        max_states=max_states,
+        first_violation_only=first_violation_only,
+        rng_seed=rng_seed,
+    )
 
 
 def explore_write_read_race(
@@ -196,6 +77,10 @@ def explore_write_read_race(
     max_depth: int = 40,
     max_states: int = 50_000,
     checker: str = "causal",
+    strategy: str = "dfs",
+    por: bool = False,
+    workers: int = 1,
+    first_violation_only: bool = True,
     **params,
 ) -> ExplorationResult:
     """The canonical scenario: the theorem's write racing a fast ROT.
@@ -205,14 +90,27 @@ def explore_write_read_race(
     multi-object write transaction with one read-only transaction.
     Protocols without write transactions use two single writes instead
     (a causal chain through the writing client).
+
+    ``por=True`` requires the protocol's registry row to declare
+    ``por_safe``; the synchronized-clock families (TrueTime, GST-style
+    stability) branch on the global step counter and therefore fall
+    outside the :func:`repro.sim.events.independent` relation's
+    assumptions — the registry marks them ``por_safe=False`` and this
+    wrapper refuses to reduce them.
     """
     from repro.core.setup import prepare_theorem_system
     from repro.protocols import get_protocol
     from repro.txn.types import read_only_txn, write_only_txn
 
+    info = get_protocol(protocol)
+    if por and not info.por_safe:
+        raise ValueError(
+            f"{protocol} is not declared POR-safe in the registry; "
+            "run with por=False"
+        )
     tsys = prepare_theorem_system(protocol, n_probes=2, **params)
     system = tsys.system
-    if get_protocol(protocol).supports_wtx:
+    if info.supports_wtx:
         script = [
             (tsys.cw, write_only_txn(dict(tsys.new_values), txid="Tw")),
             (tsys.probes[0], read_only_txn(tsys.objects, txid="Tr")),
@@ -224,5 +122,13 @@ def explore_write_read_race(
             (tsys.probes[0], read_only_txn(tsys.objects, txid="Tr")),
         ]
     return explore(
-        system, script, max_depth=max_depth, max_states=max_states, checker=checker
+        system,
+        script,
+        max_depth=max_depth,
+        max_states=max_states,
+        first_violation_only=first_violation_only,
+        checker=checker,
+        strategy=strategy,
+        por=por,
+        workers=workers,
     )

@@ -1,0 +1,34 @@
+"""repro.engine — the unified schedule-space exploration engine.
+
+Public surface:
+
+* :func:`repro.engine.core.run` — explore a prepared system with a
+  strategy (``dfs``/``bfs``/``random``), optional sleep-set partial-order
+  reduction, and optional parallel frontier workers;
+* :class:`repro.engine.core.ExplorationResult` — the result record,
+  extending the repo-wide :class:`repro.engine.outcome.SearchOutcome`
+  budget vocabulary;
+* the typed event model itself lives in :mod:`repro.sim.events` (the sim
+  layer owns what an event *is*; the engine owns how the space of event
+  sequences is searched).
+"""
+
+from repro.engine.core import (
+    STRATEGIES,
+    ExplorationResult,
+    SearchNode,
+    SerialSearch,
+    resolve_checker,
+    run,
+)
+from repro.engine.outcome import SearchOutcome
+
+__all__ = [
+    "STRATEGIES",
+    "ExplorationResult",
+    "SearchNode",
+    "SearchOutcome",
+    "SerialSearch",
+    "resolve_checker",
+    "run",
+]

@@ -1,0 +1,554 @@
+"""The unified exploration engine: strategies, budgets, reduction.
+
+This package owns schedule-space exploration end to end.  The previous
+layout had three divergent drivers — a recursive DFS in
+``core/explore.py``, the chaos adversaries' hand-rolled enumeration in
+``sim/adversaries.py``, and a memoized DFS in ``consistency/search.py``
+— each with its own budget accounting.  The engine replaces them with
+one frontier/strategy core over a common :class:`SearchNode`:
+
+* **Strategies** — ``"dfs"`` (the reference order, identical to the old
+  recursive explorer), ``"bfs"`` (shortest-counterexample order) and
+  ``"random"`` (seeded random walks, no dedup) all share the seen-set,
+  the state/depth budgets and the truncation accounting implemented
+  here, once.
+* **Partial-order reduction** (``por=True``) — driven by the
+  :func:`repro.sim.events.independent` relation, in two coupled parts.
+  The seen-set keys on the *trace-canonical* fingerprint
+  (``Simulation.fingerprint(canonical=True)``), under which the two
+  sides of every commuting diamond are the same state — that quotient,
+  one representative per Mazurkiewicz trace, is where the state-count
+  reduction comes from.  On top of it, *sleep sets* prune the redundant
+  sibling orders so merged states are mostly not even generated.
+  Soundness: sleep sets never prune a trace entirely, only redundant
+  interleavings of commuting events, so every reachable *quiescent*
+  configuration (and hence every checked history and every verdict) is
+  still reached; combined with the seen-set, a revisited configuration
+  is only skipped when a previous visit had a subset sleep set (i.e.
+  explored at least as much).  See ``docs/model.md``.
+* **Parallel frontier** (``workers=N``) — :mod:`repro.engine.parallel`
+  fans DFS-preorder subtree roots out to ``multiprocessing`` workers;
+  snapshots are self-contained bytes and fingerprints are
+  hash-seed-independent, so results merge deterministically.
+
+The engine applies events exclusively through
+:meth:`repro.sim.events.Event.apply`; ``repro.lint`` rule RL405 keeps
+every other layer honest about that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.outcome import SearchOutcome
+from repro.sim.events import Event, enabled_events, independent
+from repro.sim.executor import Configuration, SimCounters, Simulation
+from repro.sim.messages import ProcessId
+
+STRATEGIES = ("dfs", "bfs", "random")
+
+_EMPTY: FrozenSet[Event] = frozenset()
+
+
+@dataclass
+class SearchNode:
+    """One frontier entry: a configuration plus how we got there."""
+
+    snapshot: Configuration
+    fingerprint: bytes
+    trail: Tuple[Event, ...]
+    depth: int
+    #: sleep set: events whose exploration from this node is already
+    #: covered by a sibling branch (empty unless POR is on)
+    sleep: FrozenSet[Event] = _EMPTY
+
+
+@dataclass
+class ExplorationResult(SearchOutcome):
+    """Outcome of a (possibly reduced, possibly parallel) exploration.
+
+    Extends the repo-wide :class:`SearchOutcome` budget vocabulary:
+    ``steps`` mirrors ``states_visited`` and ``exhausted`` reports a
+    spent state budget.  ``states_visited`` counts configurations
+    actually *expanded*; revisits pruned by the seen-set are counted
+    separately in ``states_deduped`` (the old explorer counted a node
+    before the seen check, inflating ``states_visited`` by the number of
+    revisits).
+    """
+
+    protocol: str = ""
+    states_visited: int = 0     #: configurations expanded
+    states_deduped: int = 0     #: revisits pruned by the seen-fingerprint set
+    schedules_completed: int = 0
+    truncated: int = 0          #: branches cut by the depth or state budget
+    violations: List[Tuple[List[str], List]] = field(default_factory=list)
+    #: snapshot/restore cost accounting for the run (see SimCounters)
+    counters: Optional[SimCounters] = None
+    strategy: str = "dfs"
+    por: bool = False
+    workers: int = 1
+
+    @property
+    def violation_found(self) -> bool:
+        return bool(self.violations)
+
+    @property
+    def conclusive(self) -> bool:
+        """No budget cut any branch: the verdict covers the whole scope."""
+        return not self.exhausted and self.truncated == 0
+
+    def describe(self) -> str:
+        knobs = self.strategy + ("+por" if self.por else "")
+        if self.workers > 1:
+            knobs += f"+workers={self.workers}"
+        head = (
+            f"{self.protocol} [{knobs}]: explored {self.states_visited} states "
+            f"({self.states_deduped} deduped), "
+            f"{self.schedules_completed} complete schedules, "
+            f"{self.truncated} truncated"
+        )
+        if not self.violations:
+            lines = [head + " — no causal violation in scope"]
+        else:
+            sched, anomalies = self.violations[0]
+            lines = [head + f" — {len(self.violations)} violating schedule(s)"]
+            lines.append("  first violating schedule:")
+            for s in sched:
+                lines.append(f"    {s}")
+            for a in anomalies[:2]:
+                lines.append(f"  anomaly: {a.describe()}")
+        if self.counters is not None:
+            lines.append(f"  cost: {self.counters.describe()}")
+        return "\n".join(lines)
+
+
+def resolve_checker(checker: str) -> Callable:
+    """Map a checker name to its anomaly-scan function."""
+    if checker == "causal":
+        from repro.consistency.causal import find_causal_anomalies
+
+        return find_causal_anomalies
+    if checker == "read-atomic":
+        from repro.consistency.atomicity import find_fractured_reads
+
+        return find_fractured_reads
+    raise ValueError(f"unknown checker {checker!r}")
+
+
+def clients_done(sim: Simulation, clients: Sequence[ProcessId]) -> bool:
+    """Every client idle: no active transaction, nothing pending."""
+    from repro.txn.client import ClientBase
+
+    for c in clients:
+        p = sim.processes[c]
+        if not isinstance(p, ClientBase) or p.current is not None or p.pending:
+            return False
+    return True
+
+
+class SerialSearch:
+    """One search over one live simulation, any serial strategy.
+
+    Owns the seen-set, budgets and truncation accounting.  The caller
+    provides the simulation positioned at the root configuration; the
+    search mutates it freely (snapshot/restore discipline) and leaves it
+    in an unspecified configuration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        pids: Sequence[ProcessId],
+        clients: Sequence[ProcessId],
+        result: ExplorationResult,
+        find_anomalies: Callable,
+        max_depth: int,
+        max_states: int,
+        first_violation_only: bool,
+        por: bool,
+        rng_seed: int = 0,
+        trail_prefix: Tuple[str, ...] = (),
+    ):
+        self.sim = sim
+        self.pids = tuple(pids)
+        self.clients = tuple(clients)
+        self.result = result
+        self.find_anomalies = find_anomalies
+        self.max_depth = max_depth
+        self.max_states = max_states
+        self.first_violation_only = first_violation_only
+        self.por = por
+        self.rng_seed = rng_seed
+        #: labels prepended to violation schedules (parallel subtree roots)
+        self.trail_prefix = trail_prefix
+        self.abort = False      # first violation found: stop everything
+        self.exhausted = False  # state budget spent: stop everything
+        # fingerprint -> sleep sets it was visited with.  A revisit is
+        # skippable iff some previous visit slept on a *subset* of what
+        # we would sleep on now (it explored at least as much).  Without
+        # POR every sleep set is empty and this degenerates to a set.
+        self._seen: dict = {}
+        self._trail: List[Event] = []
+
+    def _fingerprint(self, snap: Configuration) -> bytes:
+        """The seen-set key for the current configuration.
+
+        POR keys on the trace-canonical fingerprint so commuting
+        interleavings merge; without POR the strict (msg_id-covering)
+        fingerprint keeps parity with the pre-engine explorer.
+        """
+        return self.sim.fingerprint(snap, canonical=self.por)
+
+    # -- seen-set ---------------------------------------------------------
+
+    def _covered(self, fp: bytes, sleep: FrozenSet[Event]) -> bool:
+        prior = self._seen.get(fp)
+        if prior is None:
+            return False
+        if not self.por:
+            return True
+        return any(s <= sleep for s in prior)
+
+    def _remember(self, fp: bytes, sleep: FrozenSet[Event]) -> None:
+        if not self.por:
+            self._seen[fp] = True
+            return
+        prior = self._seen.setdefault(fp, [])
+        prior[:] = [s for s in prior if not (sleep <= s)]
+        prior.append(sleep)
+
+    def seen_states(self) -> int:
+        return len(self._seen)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _check_leaf(self) -> None:
+        from repro.txn.history import build_history
+
+        r = self.result
+        r.schedules_completed += 1
+        hist = build_history(self.sim, clients=self.clients)
+        anomalies = self.find_anomalies(hist)
+        if anomalies:
+            labels = list(self.trail_prefix) + [e.label for e in self._trail]
+            r.violations.append((labels, anomalies))
+            if self.first_violation_only:
+                self.abort = True
+
+    def _child_sleep(
+        self, sleep: FrozenSet[Event], prior: List[Event], event: Event
+    ) -> FrozenSet[Event]:
+        if not self.por:
+            return _EMPTY
+        return frozenset(
+            x for x in sleep.union(prior) if independent(x, event)
+        )
+
+    # -- DFS (the reference strategy) -------------------------------------
+
+    def run_dfs(self, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
+        """Depth-first from the sim's current configuration."""
+        self._dfs(depth, sleep)
+
+    def _dfs(self, depth: int, sleep: FrozenSet[Event]) -> None:
+        r = self.result
+        events = enabled_events(self.sim, self.pids)
+        if not events:
+            r.states_visited += 1
+            if r.states_visited > self.max_states:
+                self.exhausted = True
+                r.truncated += 1
+                return
+            if clients_done(self.sim, self.clients):
+                self._check_leaf()
+            return  # stuck without finishing: not a legal maximal run
+        # one snapshot per node: every child branch mutates the live sim
+        # and restores from this same (immutable) snapshot afterwards;
+        # fingerprinting right after attaches the per-process dumps so
+        # each child restore re-primes the fingerprint cache.
+        snap = self.sim.snapshot()
+        fp = self._fingerprint(snap)
+        if self._covered(fp, sleep):
+            r.states_deduped += 1
+            return
+        self._remember(fp, sleep)
+        r.states_visited += 1
+        if r.states_visited > self.max_states:
+            self.exhausted = True
+            r.truncated += 1
+            return
+        if depth >= self.max_depth:
+            r.truncated += 1
+            return
+        explorable = (
+            [e for e in events if e not in sleep] if self.por else events
+        )
+        prior: List[Event] = []
+        for i, e in enumerate(explorable):
+            child_sleep = self._child_sleep(sleep, prior, e)
+            e.apply(self.sim)
+            self._trail.append(e)
+            self._dfs(depth + 1, child_sleep)
+            self._trail.pop()
+            self.sim.restore(snap)
+            prior.append(e)
+            if self.abort:
+                return
+            if self.exhausted:
+                r.truncated += len(explorable) - 1 - i  # cut siblings
+                return
+
+    # -- frontier seeding (parallel mode) ---------------------------------
+
+    def collect_frontier(
+        self, cutoff: int, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY
+    ) -> List[SearchNode]:
+        """DFS-preorder roots at ``cutoff`` depth, leaves checked en route.
+
+        Identical to :meth:`run_dfs` above the cutoff; a node *at* the
+        cutoff is snapshotted and returned instead of expanded (and not
+        counted — the worker that expands it counts it).
+        """
+        roots: List[SearchNode] = []
+        self._seed(cutoff, depth, sleep, roots)
+        return roots
+
+    def _seed(
+        self,
+        cutoff: int,
+        depth: int,
+        sleep: FrozenSet[Event],
+        roots: List[SearchNode],
+    ) -> None:
+        r = self.result
+        events = enabled_events(self.sim, self.pids)
+        if not events:
+            r.states_visited += 1
+            if r.states_visited > self.max_states:
+                self.exhausted = True
+                r.truncated += 1
+                return
+            if clients_done(self.sim, self.clients):
+                self._check_leaf()
+            return
+        snap = self.sim.snapshot()
+        fp = self._fingerprint(snap)
+        if self._covered(fp, sleep):
+            r.states_deduped += 1
+            return
+        if depth >= cutoff or depth >= self.max_depth:
+            # a subtree root: remembered (so a duplicate reached later in
+            # the seeding walk is pruned exactly as the serial DFS would)
+            # but not counted — its worker counts it on entry.
+            self._remember(fp, sleep)
+            roots.append(SearchNode(snap, fp, tuple(self._trail), depth, sleep))
+            return
+        self._remember(fp, sleep)
+        r.states_visited += 1
+        if r.states_visited > self.max_states:
+            self.exhausted = True
+            r.truncated += 1
+            return
+        explorable = (
+            [e for e in events if e not in sleep] if self.por else events
+        )
+        prior: List[Event] = []
+        for i, e in enumerate(explorable):
+            child_sleep = self._child_sleep(sleep, prior, e)
+            e.apply(self.sim)
+            self._trail.append(e)
+            self._seed(cutoff, depth + 1, child_sleep, roots)
+            self._trail.pop()
+            self.sim.restore(snap)
+            prior.append(e)
+            if self.abort:
+                return
+            if self.exhausted:
+                r.truncated += len(explorable) - 1 - i
+                return
+
+    # -- BFS ---------------------------------------------------------------
+
+    def run_bfs(self, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
+        """Breadth-first from the sim's current configuration.
+
+        Finds shortest counterexamples first.  Children are deduped at
+        generation time so the frontier never holds duplicate snapshots.
+        """
+        from collections import deque
+
+        r = self.result
+        sim = self.sim
+        snap = sim.snapshot()
+        fp = self._fingerprint(snap)
+        self._remember(fp, sleep)
+        frontier = deque(
+            [SearchNode(snap, fp, tuple(self._trail), depth, sleep)]
+        )
+        while frontier:
+            node = frontier.popleft()
+            sim.restore(node.snapshot)
+            events = enabled_events(sim, self.pids)
+            r.states_visited += 1
+            if r.states_visited > self.max_states:
+                self.exhausted = True
+                r.truncated += 1 + len(frontier)
+                return
+            if not events:
+                if clients_done(sim, self.clients):
+                    self._trail = list(node.trail)
+                    self._check_leaf()
+                    if self.abort:
+                        return
+                continue
+            if node.depth >= self.max_depth:
+                r.truncated += 1
+                continue
+            explorable = (
+                [e for e in events if e not in node.sleep]
+                if self.por
+                else events
+            )
+            prior: List[Event] = []
+            for e in explorable:
+                child_sleep = self._child_sleep(node.sleep, prior, e)
+                e.apply(sim)
+                child_snap = sim.snapshot()
+                child_fp = self._fingerprint(child_snap)
+                if self._covered(child_fp, child_sleep):
+                    r.states_deduped += 1
+                else:
+                    self._remember(child_fp, child_sleep)
+                    frontier.append(
+                        SearchNode(
+                            child_snap,
+                            child_fp,
+                            node.trail + (e,),
+                            node.depth + 1,
+                            child_sleep,
+                        )
+                    )
+                sim.restore(node.snapshot)
+                prior.append(e)
+
+    # -- random walks -------------------------------------------------------
+
+    def run_random(self, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
+        """Seeded random walks to quiescence, until the state budget.
+
+        No dedup (the budget bounds work, not coverage) and no POR — a
+        walk keeps one interleaving per attempt anyway.  Deterministic
+        given ``rng_seed``.
+        """
+        r = self.result
+        sim = self.sim
+        rng = random.Random(self.rng_seed)
+        root = sim.snapshot()
+        base_trail = list(self._trail)
+        while not self.abort and r.states_visited < self.max_states:
+            sim.restore(root)
+            self._trail = list(base_trail)
+            d = depth
+            while True:
+                events = enabled_events(sim, self.pids)
+                if not events:
+                    if clients_done(sim, self.clients):
+                        self._check_leaf()
+                    break
+                if d >= self.max_depth:
+                    r.truncated += 1
+                    break
+                e = rng.choice(events)
+                e.apply(sim)
+                self._trail.append(e)
+                r.states_visited += 1
+                d += 1
+                if r.states_visited >= self.max_states:
+                    self.exhausted = True
+                    r.truncated += 1
+                    break
+
+    def run(self, strategy: str, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
+        if strategy == "dfs":
+            self.run_dfs(depth, sleep)
+        elif strategy == "bfs":
+            self.run_bfs(depth, sleep)
+        elif strategy == "random":
+            self.run_random(depth, sleep)
+        else:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+
+
+def run(
+    system,
+    *,
+    checker: str = "causal",
+    strategy: str = "dfs",
+    por: bool = False,
+    workers: int = 1,
+    max_depth: int = 40,
+    max_states: int = 50_000,
+    first_violation_only: bool = True,
+    rng_seed: int = 0,
+) -> ExplorationResult:
+    """Explore every schedule of ``system``'s current configuration.
+
+    The caller has already invoked the scenario's transactions; the
+    engine enumerates adversary schedules from here.  ``strategy`` is
+    one of ``"dfs"`` / ``"bfs"`` / ``"random"``; ``por=True`` switches on
+    sleep-set partial-order reduction; ``workers > 1`` fans subtree
+    roots out to worker processes (see :mod:`repro.engine.parallel`; the
+    state budget then applies per worker).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    find_anomalies = resolve_checker(checker)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    por = por and strategy != "random"
+    result = ExplorationResult(
+        protocol=system.info.name,
+        strategy=strategy,
+        por=por,
+        workers=workers,
+    )
+    sim = system.sim
+    pids = tuple(system.clients) + tuple(system.service_pids)
+    if workers > 1:
+        from repro.engine.parallel import run_parallel
+
+        return run_parallel(
+            system,
+            checker=checker,
+            strategy=strategy,
+            por=por,
+            workers=workers,
+            max_depth=max_depth,
+            max_states=max_states,
+            first_violation_only=first_violation_only,
+            rng_seed=rng_seed,
+            result=result,
+        )
+    search = SerialSearch(
+        sim,
+        pids,
+        system.clients,
+        result,
+        find_anomalies,
+        max_depth,
+        max_states,
+        first_violation_only,
+        por,
+        rng_seed=rng_seed,
+    )
+    search.run(strategy)
+    result.exhausted = search.exhausted
+    result.steps = result.states_visited
+    result.counters = replace(sim.counters)
+    return result

@@ -1,0 +1,30 @@
+"""The shared budget/result vocabulary for every search in the repo.
+
+Both schedule-space exploration (:mod:`repro.engine.core`) and the
+serialization search behind the exact consistency checkers
+(:mod:`repro.consistency.search`) are bounded searches: they either run
+to completion or hit an explicit budget.  :class:`SearchOutcome` is the
+common base — ``steps`` counts the units of work actually performed,
+``exhausted`` records that a budget stopped the search early, and
+``conclusive`` is the derived judgement a caller may rely on ("a negative
+answer means *no*, not *not found yet*").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SearchOutcome:
+    """Base result of any budgeted search."""
+
+    #: units of work performed (expanded states, placement attempts, ...)
+    steps: int = 0
+    #: True when a budget (states, steps, ...) stopped the search early
+    exhausted: bool = False
+
+    @property
+    def conclusive(self) -> bool:
+        """Whether the search's answer is definitive rather than truncated."""
+        return not self.exhausted

@@ -1,0 +1,215 @@
+"""The parallel frontier: subtree roots fanned out to worker processes.
+
+Parallelising the explorer is only possible because of two PR-1
+invariants: configuration snapshots are *self-contained bytes blobs*
+(a worker re-materializes a private simulation from the blob alone) and
+fingerprints are *hash-seed-independent* (every worker computes the same
+16 bytes for the same configuration, so merged seen-set accounting is
+meaningful across processes).
+
+The scheme: the parent runs the ordinary serial search truncated at a
+shallow cutoff depth, collecting the DFS-preorder frontier of subtree
+roots; each root (snapshot + trail + depth + sleep set) is shipped to a
+``multiprocessing`` worker that explores its subtree to completion with
+the same strategy/POR knobs; per-worker counts, violations and
+:class:`~repro.sim.executor.SimCounters` are merged in root order, which
+makes the merged result deterministic regardless of worker scheduling.
+
+Verdict fidelity: each worker fully explores its subtree, so the union
+of leaves checked equals the serial run's — identical verdicts.  With
+``first_violation_only`` the roots are consumed in DFS-preorder and the
+first root reporting a violation wins; because the parent's seeding walk
+*is* the serial DFS prefix, that violation is the serial DFS's first one
+bit for bit.  Workers do not share a seen-set across processes, so a
+configuration reachable from two roots is expanded once per root:
+``states_visited`` may exceed the serial count (the dedup that the
+serial run performed across subtrees is reported per worker).  The
+state budget likewise applies per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.engine.core import ExplorationResult, SerialSearch, resolve_checker
+from repro.sim.executor import SimCounters, Simulation
+
+#: target number of subtree roots per worker (over-decomposition smooths
+#: out uneven subtree sizes)
+ROOTS_PER_WORKER = 4
+
+#: never seed deeper than this: each extra level multiplies seeding work
+MAX_CUTOFF = 10
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_run(payload: bytes) -> bytes:
+    """Explore one subtree root in a worker process.
+
+    Receives and returns pickled payloads so the pool never depends on
+    the default pickler seeing our live objects.
+    """
+    args = pickle.loads(payload)
+    sim = Simulation([])
+    sim.restore(args["root"])
+    result = ExplorationResult(
+        protocol=args["protocol"],
+        strategy=args["strategy"],
+        por=args["por"],
+    )
+    search = SerialSearch(
+        sim,
+        args["pids"],
+        args["clients"],
+        result,
+        resolve_checker(args["checker"]),
+        args["max_depth"],
+        args["max_states"],
+        args["first_violation_only"],
+        args["por"],
+        rng_seed=args["rng_seed"],
+        trail_prefix=args["trail_prefix"],
+    )
+    search.run(args["strategy"], depth=args["depth"], sleep=args["sleep"])
+    result.exhausted = search.exhausted
+    result.counters = replace(sim.counters)
+    return pickle.dumps(
+        {
+            "states_visited": result.states_visited,
+            "states_deduped": result.states_deduped,
+            "schedules_completed": result.schedules_completed,
+            "truncated": result.truncated,
+            "violations": result.violations,
+            "exhausted": result.exhausted,
+            "counters": result.counters,
+        }
+    )
+
+
+def run_parallel(
+    system,
+    *,
+    checker: str,
+    strategy: str,
+    por: bool,
+    workers: int,
+    max_depth: int,
+    max_states: int,
+    first_violation_only: bool,
+    rng_seed: int,
+    result: ExplorationResult,
+) -> ExplorationResult:
+    """Fan the exploration of ``system`` out to ``workers`` processes."""
+    sim = system.sim
+    pids = tuple(system.clients) + tuple(system.service_pids)
+    clients = tuple(system.clients)
+    find_anomalies = resolve_checker(checker)
+    root_snap = sim.snapshot()
+    target = max(workers * ROOTS_PER_WORKER, workers + 1)
+
+    # grow the cutoff until the frontier is wide enough to balance the
+    # pool; each pass restarts from the root (shallow passes are cheap)
+    roots = []
+    search: Optional[SerialSearch] = None
+    for cutoff in range(1, min(max_depth, MAX_CUTOFF) + 1):
+        sim.restore(root_snap)
+        partial = ExplorationResult(
+            protocol=result.protocol,
+            strategy=strategy,
+            por=por,
+            workers=workers,
+        )
+        search = SerialSearch(
+            sim,
+            pids,
+            clients,
+            partial,
+            find_anomalies,
+            max_depth,
+            max_states,
+            first_violation_only,
+            por,
+            rng_seed=rng_seed,
+        )
+        roots = search.collect_frontier(cutoff)
+        if (
+            search.abort
+            or search.exhausted
+            or not roots
+            or len(roots) >= target
+        ):
+            break
+    assert search is not None
+    partial = search.result
+    if search.abort or search.exhausted or not roots:
+        # the seeding walk already settled it (violation above the
+        # cutoff, budget spent, or the whole scope is shallower than the
+        # cutoff): the parent's serial prefix is the complete answer
+        _finalize(result, partial, search, sim)
+        return result
+
+    payloads = [
+        pickle.dumps(
+            {
+                "root": node.snapshot,
+                "depth": node.depth,
+                "sleep": node.sleep,
+                "trail_prefix": tuple(e.label for e in node.trail),
+                "pids": pids,
+                "clients": clients,
+                "checker": checker,
+                "strategy": strategy,
+                "por": por,
+                "max_depth": max_depth,
+                "max_states": max_states,
+                "first_violation_only": first_violation_only,
+                "rng_seed": rng_seed + i,
+                "protocol": result.protocol,
+            }
+        )
+        for i, node in enumerate(roots)
+    ]
+
+    exhausted = search.exhausted
+    ctx = _mp_context()
+    with ctx.Pool(processes=workers) as pool:
+        for raw in pool.imap(_worker_run, payloads):
+            sub = pickle.loads(raw)
+            partial.states_visited += sub["states_visited"]
+            partial.states_deduped += sub["states_deduped"]
+            partial.schedules_completed += sub["schedules_completed"]
+            partial.truncated += sub["truncated"]
+            partial.violations.extend(sub["violations"])
+            exhausted = exhausted or sub["exhausted"]
+            sim.counters.merge(sub["counters"])
+            if first_violation_only and sub["violations"]:
+                # roots are consumed in DFS-preorder, so this is the
+                # serial DFS's first violation; drop the rest of the pool
+                pool.terminate()
+                break
+    search.exhausted = exhausted
+    _finalize(result, partial, search, sim)
+    return result
+
+
+def _finalize(
+    result: ExplorationResult,
+    partial: ExplorationResult,
+    search: SerialSearch,
+    sim: Simulation,
+) -> None:
+    result.states_visited = partial.states_visited
+    result.states_deduped = partial.states_deduped
+    result.schedules_completed = partial.schedules_completed
+    result.truncated = partial.truncated
+    result.violations = partial.violations
+    result.exhausted = search.exhausted
+    result.steps = result.states_visited
+    result.counters = replace(sim.counters)

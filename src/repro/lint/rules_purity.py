@@ -34,6 +34,16 @@ one-message-per-neighbour rule, the trace and the replay log.
     Messages are immutable once sent — links "do not modify messages" —
     and payload objects are shared by reference with the network and
     the trace, so in-place mutation corrupts history.
+
+``RL405``
+    A raw ``sim.step(...)`` / ``sim.deliver(...)`` /
+    ``sim.deliver_msg(...)`` outside the exploration engine and the sim
+    core.  Schedule choices belong to :mod:`repro.engine` (via
+    ``enabled_events`` and ``Event.apply``) so the seen-set, the
+    partial-order reduction and the counters all observe the same moves;
+    ad-hoc driving elsewhere silently forks the schedule vocabulary.
+    The theorem constructions (:mod:`repro.core.constructions`) are the
+    one deliberate exception: σ_old/σ_new *are* hand-built schedules.
 """
 
 from __future__ import annotations
@@ -59,7 +69,22 @@ SIM_CORE_MODULES = (
     "repro.sim.replay",
     "repro.sim.adversaries",
     "repro.sim.scheduler",
+    "repro.sim.events",
 )
+
+#: modules whose *purpose* is authoring schedules move by move: the
+#: exploration engine itself, and the paper's σ_old/σ_new constructions
+#: (Lemma 1 builds one specific adversarial schedule by hand — routing
+#: it through the engine would obscure the proof it transcribes).
+SCHEDULE_AUTHORITIES = (
+    "repro.engine",
+    "repro.engine.core",
+    "repro.engine.parallel",
+    "repro.core.constructions",
+)
+
+#: the Simulation methods that advance the schedule by one move
+SCHEDULE_MOVES = frozenset({"step", "deliver", "deliver_msg"})
 
 MUTATOR_METHODS = frozenset(
     {
@@ -333,9 +358,45 @@ class PayloadMutationRule(Rule):
                 )
 
 
+class RawScheduleRule(Rule):
+    code = "RL405"
+    name = "raw-schedule"
+    summary = "raw sim.step()/sim.deliver() outside the exploration engine"
+
+    @staticmethod
+    def _sim_receiver(expr: ast.expr) -> bool:
+        """``sim.step(...)``, ``self.sim.step(...)``, ``system.sim...``."""
+        if isinstance(expr, ast.Name):
+            return expr.id == "sim"
+        if isinstance(expr, ast.Attribute):
+            return expr.attr == "sim"
+        return False
+
+    def check_file(self, fctx: FileCtx, ctx: LintContext) -> Iterator[Finding]:
+        module = _module_of(fctx)
+        if module in SIM_CORE_MODULES or module in SCHEDULE_AUTHORITIES:
+            return
+        for node in ast.walk(fctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SCHEDULE_MOVES
+                and self._sim_receiver(node.func.value)
+            ):
+                yield fctx.finding(
+                    self.code,
+                    node,
+                    f"raw sim.{node.func.attr}() outside the exploration "
+                    "engine — schedule moves go through repro.engine "
+                    "(enabled_events / Event.apply) or System.execute so "
+                    "seen-sets, POR and counters see the same vocabulary",
+                )
+
+
 PURITY_RULES = (
     ModuleGlobalMutationRule(),
     RawMessageRule(),
     SendOutsideContextRule(),
     PayloadMutationRule(),
+    RawScheduleRule(),
 )

@@ -38,6 +38,17 @@ class ProtocolInfo:
     consistency: str  # strongest level the implementation targets
     paper_row: PaperRow
     description: str = ""
+    #: safe for the engine's partial-order reduction.  The independence
+    #: relation (repro.sim.events) assumes a step reads nothing but the
+    #: process's own state and drained inbox — the asynchronous model,
+    #: enforced for messages/buffers by the RL4xx purity lints.  Protocols
+    #: whose visibility decisions read ``ctx.step_index`` (the TrueTime /
+    #: GST-stability families: a synchronized-clock assumption grafted
+    #: onto the asynchronous simulator) fall outside that argument —
+    #: permuting independent events shifts the clock values their
+    #: branches compare — so they set this to False and the explorer
+    #: refuses ``por=True``.
+    por_safe: bool = True
     extras_factory: Optional[Callable[..., List[Process]]] = None
     server_param_names: Tuple[str, ...] = ()
     client_param_names: Tuple[str, ...] = ()
@@ -147,6 +158,10 @@ def _build_registry() -> None:
             consistency="causal",
             paper_row=PaperRow("2", "1", "no", "no", "Causal Consistency"),
             description="vector snapshots; blocking reads",
+            # visibility branches on the global step counter (the
+            # synchronized-clock model) — outside the asynchronous
+            # commutation argument behind the POR independence relation
+            por_safe=False,
         )
     )
     _register(
@@ -160,6 +175,10 @@ def _build_registry() -> None:
             consistency="causal",
             paper_row=PaperRow("2", "1", "no", "no", "Causal Consistency"),
             description="scalar GST snapshots; blocking reads, O(1) metadata",
+            # visibility branches on the global step counter (the
+            # synchronized-clock model) — outside the asynchronous
+            # commutation argument behind the POR independence relation
+            por_safe=False,
         )
     )
     _register(
@@ -173,6 +192,10 @@ def _build_registry() -> None:
             consistency="causal",
             paper_row=PaperRow("2", "1", "yes", "no", "Causal Consistency"),
             description="pre-stabilized snapshots; non-blocking two-round reads",
+            # visibility branches on the global step counter (the
+            # synchronized-clock model) — outside the asynchronous
+            # commutation argument behind the POR independence relation
+            por_safe=False,
         )
     )
     _register(
@@ -186,6 +209,10 @@ def _build_registry() -> None:
             consistency="causal",
             paper_row=PaperRow("2", "1", "yes", "yes", "Causal Consistency"),
             description="the N+V+W corner: stable snapshots + 2PC write txns",
+            # visibility branches on the global step counter (the
+            # synchronized-clock model) — outside the asynchronous
+            # commutation argument behind the POR independence relation
+            por_safe=False,
         )
     )
     _register(
@@ -199,6 +226,10 @@ def _build_registry() -> None:
             consistency="causal",
             paper_row=PaperRow("2", "1", "no", "yes", "Causal Consistency"),
             description="vector snapshots + 2PC write txns; blocking reads",
+            # visibility branches on the global step counter (the
+            # synchronized-clock model) — outside the asynchronous
+            # commutation argument behind the POR independence relation
+            por_safe=False,
         )
     )
     _register(
@@ -259,6 +290,9 @@ def _build_registry() -> None:
             consistency="strict-serializable",
             paper_row=PaperRow("1", "1", "no", "yes", "Strict Serializability"),
             description="the R+V+W corner: TrueTime reads, locking 2PC writes",
+            # TrueTime *is* a synchronized clock: commit-wait reads the
+            # global step counter, so schedules do not commute
+            por_safe=False,
             server_param_names=("epsilon",),
             client_param_names=("epsilon",),
         )
@@ -311,6 +345,9 @@ def _build_registry() -> None:
                 "advancing epoch — violates the minimal-progress premise "
                 "(the paper's §4 loophole)"
             ),
+            # epoch advancement branches on the stability clock (global
+            # step counter) — same synchrony caveat as the GST family
+            por_safe=False,
             client_param_names=("sync_every",),
         )
     )

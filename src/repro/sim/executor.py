@@ -66,6 +66,11 @@ class SimCounters:
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    def merge(self, other: "SimCounters") -> None:
+        """Accumulate another ledger into this one (parallel workers)."""
+        for key, value in other.__dict__.items():
+            setattr(self, key, getattr(self, key) + value)
+
 
 class Configuration:
     """An opaque bytes-snapshot of a simulation's state (a configuration).
@@ -95,17 +100,20 @@ class Configuration:
     blob, so it is O(1).
     """
 
-    __slots__ = ("blob", "msg_counter", "event_count", "fp_dumps")
+    __slots__ = ("blob", "msg_counter", "event_count", "fp_dumps", "fp_dumps_canon")
 
     def __init__(self, blob: bytes, msg_counter: int, event_count: int):
         self.blob = blob
         self.msg_counter = msg_counter
         self.event_count = event_count
-        #: canonical per-process fingerprint dumps for exactly this blob's
-        #: state, attached by :meth:`Simulation.fingerprint` so a later
-        #: restore can re-prime the fingerprint cache (restored branches
-        #: then only re-serialize the processes an event actually touched)
+        #: per-process fingerprint dumps for exactly this blob's state,
+        #: attached by :meth:`Simulation.fingerprint` so a later restore
+        #: can re-prime the fingerprint cache (restored branches then only
+        #: re-serialize the processes an event actually touched).  The
+        #: second slot holds the trace-canonical variant (masked
+        #: ``fp_state``), attached by ``fingerprint(canonical=True)``.
         self.fp_dumps: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
+        self.fp_dumps_canon: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
 
     def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
         """Deserialize a private (processes, network) pair.
@@ -132,6 +140,7 @@ class Configuration:
             event_count=self.event_count,
         )
         forked.fp_dumps = self.fp_dumps  # immutable too: share, don't copy
+        forked.fp_dumps_canon = self.fp_dumps_canon
         return forked
 
     def size_bytes(self) -> int:
@@ -267,6 +276,8 @@ class Simulation:
         # object at that dirty version.  Held strongly, so object ids
         # cannot be recycled into false hits.
         self._proc_fp_cache: Dict[ProcessId, Tuple[Process, int, bytes]] = {}
+        # same shape, for the trace-canonical (masked fp_state) dumps
+        self._proc_fp_cache_canon: Dict[ProcessId, Tuple[Process, int, bytes]] = {}
 
     # -- configuration management -----------------------------------------
 
@@ -343,6 +354,7 @@ class Simulation:
             self.event_count = forked.event_count
             self._config_cache = None
             self._proc_fp_cache = {}
+            self._proc_fp_cache_canon = {}
             return
         entry = self._config_cache
         if (
@@ -376,6 +388,13 @@ class Simulation:
                 }
             else:
                 self._proc_fp_cache = {}
+            if config.fp_dumps_canon is not None:
+                self._proc_fp_cache_canon = {
+                    pid: (self.processes[pid], 0, dump)
+                    for pid, dump in config.fp_dumps_canon
+                }
+            else:
+                self._proc_fp_cache_canon = {}
         self._msg_counter = config.msg_counter
         self.event_count = config.event_count
 
@@ -400,6 +419,58 @@ class Simulation:
                 sorted(
                     (idx[pid], tuple(m.msg_id for m in msgs))
                     for pid, msgs in net.income.items()
+                )
+            ),
+        )
+
+    def _structural_trace_canonical(self):
+        """Message placement *and contents* up to commutation (POR).
+
+        Blind to global ``msg_id``s: in-transit messages are identified
+        by their per-link ``link_seq`` (queue order on one link is always
+        send order, so the tuple is canonical), and income batches are
+        the *sorted set* of ``(src, link_seq)`` entries — sound because
+        :meth:`Network.drain_income` presents every batch in that
+        canonical order, making a step's behaviour a function of the
+        batch set.  Two configurations reached by commuting independent
+        events (different-process steps mint different ``msg_id``s;
+        same-process deliveries permute a batch) therefore collide here,
+        which is what lets the engine keep one representative per
+        Mazurkiewicz trace.  Empty queues and buffers are dropped: a
+        link that emptied is the same as one never used.
+
+        Unlike the strict placement this one must carry each message's
+        **payload**: without the globally-sequenced ``msg_id`` (whose
+        numbering encodes the whole minting order), ``(src, link_seq)``
+        alone no longer determines what the message says — two branches
+        can produce the same skeleton with different replies in flight.
+        """
+        net = self.network
+        idx = {pid: i for i, pid in enumerate(sorted(self.processes))}
+        return (
+            tuple(
+                sorted(
+                    (
+                        (idx[src], idx[dst]),
+                        tuple((m.link_seq, _canonize(m.payload)) for m in q),
+                    )
+                    for (src, dst), q in net.in_transit.items()
+                    if q
+                )
+            ),
+            tuple(
+                sorted(
+                    (
+                        idx[pid],
+                        tuple(
+                            sorted(
+                                (idx[m.src], m.link_seq, _canonize(m.payload))
+                                for m in msgs
+                            )
+                        ),
+                    )
+                    for pid, msgs in net.income.items()
+                    if msgs
                 )
             ),
         )
@@ -439,14 +510,17 @@ class Simulation:
         """
         return _fast_dumps(_canonize(obj))
 
-    def _proc_fp_dumps(self) -> List[Tuple[ProcessId, bytes]]:
+    def _proc_fp_dumps(self, canonical: bool = False) -> List[Tuple[ProcessId, bytes]]:
         """Canonical per-process state dumps, for :meth:`fingerprint`.
 
         Each process's state is serialized with :meth:`_dumps_canonical`
         — deliberately a *different* serialization than the snapshot's
         combined blob, whose memo encodes object-sharing topology (a
         strictly finer relation than the value equality the exploration
-        engine has always pruned with).
+        engine has always pruned with).  ``canonical=True`` serializes
+        :meth:`Process.fp_state` instead of the raw snapshot state, so
+        data the process never branches on (a client's event-counter
+        stamps) is masked out of the trace-canonical fingerprint.
 
         Dumps are cached per process on (object identity, dirty
         counter): every process mutation goes through ``step``/``invoke``
@@ -455,7 +529,7 @@ class Simulation:
         restore-plus-one-event re-serializes at most the one process the
         event touched (none at all for a delivery).
         """
-        cache = self._proc_fp_cache
+        cache = self._proc_fp_cache_canon if canonical else self._proc_fp_cache
         out: List[Tuple[ProcessId, bytes]] = []
         for pid in sorted(self.processes):
             proc = self.processes[pid]
@@ -465,13 +539,18 @@ class Simulation:
                 self.counters.cache_hits += 1
                 dump = entry[2]
             else:
-                dump = self._dumps_canonical(proc.__getstate__())
+                state = proc.fp_state() if canonical else proc.__getstate__()
+                dump = self._dumps_canonical(state)
                 cache[pid] = (proc, version, dump)
                 self.counters.cache_misses += 1
             out.append((pid, dump))
         return out
 
-    def fingerprint(self, config: Optional["Configuration"] = None) -> bytes:
+    def fingerprint(
+        self,
+        config: Optional["Configuration"] = None,
+        canonical: bool = False,
+    ) -> bytes:
         """A content hash of the current configuration, for revisit pruning.
 
         Covers every process's state plus the structural placement of
@@ -480,6 +559,14 @@ class Simulation:
         reached by different interleavings of the same events collide.
         Pickle is stable here because all process state is plain Python
         data and the simulation is deterministic.
+
+        ``canonical=True`` hashes the *trace-canonical* placement instead
+        (:meth:`_structural_trace_canonical`): blind to global ``msg_id``
+        numbering and to intra-batch income order, so configurations that
+        differ only by a permutation of independent events collide.  The
+        exploration engine uses it for partial-order reduction; the
+        default (strict) placement stays byte-compatible with the
+        pre-engine baselines.
 
         ``config``, when given, must be a snapshot of the *current*
         configuration (the one-snapshot-per-node pattern takes it anyway);
@@ -491,8 +578,9 @@ class Simulation:
         re-primes the fingerprint cache.
         """
         self.counters.fingerprints += 1
-        dumps = self._proc_fp_dumps()
-        if isinstance(config, Configuration) and config.fp_dumps is None:
+        dumps = self._proc_fp_dumps(canonical)
+        attach_slot = "fp_dumps_canon" if canonical else "fp_dumps"
+        if isinstance(config, Configuration) and getattr(config, attach_slot) is None:
             entry = self._config_cache
             if (
                 entry is not None
@@ -502,10 +590,13 @@ class Simulation:
                 and entry[3] == getattr(self.network, "_version", 0)
                 and entry[4] is config.blob
             ):
-                config.fp_dumps = tuple(dumps)
-        payload = pickle.dumps(
-            self._structural_message_ids(), PICKLE_PROTOCOL
-        )
+                setattr(config, attach_slot, tuple(dumps))
+        if canonical:
+            # the canonical structure embeds message payloads (arbitrary
+            # values), so it needs the identity-independent serializer
+            payload = _fast_dumps(self._structural_trace_canonical())
+        else:
+            payload = pickle.dumps(self._structural_message_ids(), PICKLE_PROTOCOL)
         h = hashlib.blake2b(digest_size=16)
         for _pid, dump in dumps:
             # length-framed: process order is fixed (sorted pids), the

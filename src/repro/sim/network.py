@@ -108,11 +108,22 @@ class Network:
         raise KeyError(f"no in-transit message {src}->{dst}#{link_seq}")
 
     def drain_income(self, pid: ProcessId) -> List[Message]:
-        """Remove and return every delivered message awaiting ``pid``."""
+        """Remove and return every delivered message awaiting ``pid``.
+
+        The batch is presented in canonical ``(src, link_seq)`` order:
+        in the model a step reads the *set* of messages residing in its
+        income buffers, so the order in which the adversary happened to
+        deliver them within one batch is a simulator artifact.  The
+        canonical presentation makes a process's behaviour a function of
+        the batch set — which is exactly what lets the exploration
+        engine treat two deliveries to the same process as commuting
+        (see :mod:`repro.sim.events`).
+        """
         msgs = self.income[pid]
         if msgs:
             self.income[pid] = []
             self._version += 1
+            msgs.sort(key=lambda m: (m.src, m.link_seq))
         return msgs
 
     # -- inspection ------------------------------------------------------

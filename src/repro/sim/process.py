@@ -84,6 +84,22 @@ class Process:
         self.__dict__.update(state)
         self._version = 0
 
+    def fp_state(self):
+        """State as seen by *trace-canonical* fingerprints.
+
+        Defaults to the full snapshot state.  Subclasses that record
+        purely diagnostic data derived from the global event counter —
+        data the process never branches on, such as a client's
+        invocation/completion stamps — override this to mask it, so
+        configurations that differ only by a permutation of independent
+        events collide under ``Simulation.fingerprint(canonical=True)``.
+        State the process *does* branch on must never be masked; a
+        protocol whose decisions read the global counter itself (a
+        synchronized-clock model) cannot be canonicalized this way and
+        must set ``por_safe=False`` in the registry instead.
+        """
+        return self.__getstate__()
+
     def on_step(self, ctx: StepContext, inbox: Sequence[Message]) -> None:
         """Perform one computation step.
 

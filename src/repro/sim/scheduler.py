@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro.sim.events import deliverable_messages, steppable_pids
 from repro.sim.executor import Simulation
 from repro.sim.messages import Message, ProcessId
 
@@ -62,6 +63,10 @@ class Scheduler:
         raise SchedulerStalled(f"event budget {max_events} exhausted")
 
     # -- helpers shared by subclasses -------------------------------------
+    #
+    # Both delegate to the sanctioned enumeration in repro.sim.events so
+    # the schedulers, the chaos adversaries and the exploration engine
+    # all agree on what "enabled" means.
 
     @staticmethod
     def _deliverable(
@@ -72,20 +77,13 @@ class Scheduler:
         Messages to excluded processes are withheld (arbitrarily delayed),
         which is how solo executions are realized.
         """
-        allowed = set(sim.pids()) if pids is None else set(pids)
-        return [m for m in sim.network.pending() if m.dst in allowed]
+        return deliverable_messages(sim, pids)
 
     @staticmethod
     def _steppable(
         sim: Simulation, pids: Optional[Sequence[ProcessId]]
     ) -> List[ProcessId]:
-        allowed = sim.pids() if pids is None else tuple(pids)
-        out = []
-        for pid in allowed:
-            proc = sim.processes[pid]
-            if sim.network.income[pid] or proc.wants_step():
-                out.append(pid)
-        return out
+        return steppable_pids(sim, pids)
 
 
 class RoundRobinScheduler(Scheduler):

@@ -106,6 +106,26 @@ class ClientBase(Process):
     def wants_step(self) -> bool:
         return bool(self.pending) or self.current is not None
 
+    def fp_state(self):
+        """Mask the global-event-counter stamps for canonical fingerprints.
+
+        ``invoked_at`` / ``completed_at`` are post-hoc diagnostics (the
+        latency metrics and the strict-serializability real-time edges);
+        the client never branches on them, and their values shift when
+        independent events elsewhere in the schedule are permuted.  The
+        completion *order* — all the causal checkers consume — survives in
+        the ``completed`` list order.
+        """
+        from dataclasses import replace
+
+        state = self.__getstate__()
+        if state.get("current") is not None:
+            state["current"] = replace(state["current"], invoked_at=0)
+        state["completed"] = [
+            replace(r, invoked_at=0, completed_at=0) for r in state["completed"]
+        ]
+        return state
+
     # -- the step loop -------------------------------------------------------------
 
     def on_step(self, ctx: StepContext, inbox: Sequence[Message]) -> None:

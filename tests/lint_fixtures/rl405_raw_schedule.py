@@ -1,0 +1,15 @@
+"""RL405: schedule driven by hand outside the exploration engine."""
+
+
+def race_by_hand(sim, writer, reader, msg):
+    sim.step(writer)
+    sim.deliver_msg(msg)
+    return sim.step(reader)
+
+
+class Harness:
+    def __init__(self, system):
+        self.sim = system.sim
+
+    def poke(self, pid):
+        return self.sim.step(pid)

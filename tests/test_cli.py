@@ -88,6 +88,38 @@ class TestCliCheck:
         assert "PASS" in capsys.readouterr().out
 
 
+class TestCliExplore:
+    def test_explore_fastclaim_violation(self, capsys):
+        rc = main(["explore", "fastclaim", "--por", "--max-depth", "30"])
+        out = capsys.readouterr().out
+        assert rc == 1  # a violating schedule was found
+        assert "[dfs+por]" in out
+        assert "violating schedule" in out
+
+    def test_explore_cops_clean_with_workers(self, capsys):
+        rc = main(
+            ["explore", "cops", "--por", "--workers", "2",
+             "--max-depth", "22"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[dfs+por+workers=2]" in out
+        assert "no causal violation in scope" in out
+
+    def test_explore_strategy_and_checker_knobs(self, capsys):
+        rc = main(
+            ["explore", "cops", "--strategy", "bfs", "--por",
+             "--checker", "read-atomic", "--max-depth", "12",
+             "--max-states", "3000"]
+        )
+        assert rc == 0
+        assert "[bfs+por]" in capsys.readouterr().out
+
+    def test_explore_rejects_non_por_safe(self):
+        with pytest.raises(ValueError, match="not declared POR-safe"):
+            main(["explore", "spanner", "--por", "--max-depth", "8"])
+
+
 class TestCliParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

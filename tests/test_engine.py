@@ -1,0 +1,202 @@
+"""The exploration engine's contracts: equivalence, reduction, soundness.
+
+Three layers of evidence that :mod:`repro.engine` is a faithful — and
+strictly cheaper — replacement for brute-force schedule enumeration:
+
+* **Strategy equivalence** (per protocol): DFS, BFS and the parallel
+  frontier explore the same reduced schedule space, so verdicts and the
+  union of violating-history anomalies are identical.
+* **POR equivalence + reduction** (full scope, slow): on the two seed
+  scenarios the sleep-set/canonical-quotient search returns the same
+  verdict and the same anomaly set as the unreduced DFS while expanding
+  at least 2x fewer states — the acceptance gate for the reduction.
+* **Independence soundness** (empirical diamond property): for sampled
+  reachable configurations, every pair of enabled events the relation
+  declares independent commutes — both orders land in the same
+  canonical fingerprint with the same enabled sets.  This is the local
+  condition the Mazurkiewicz-trace argument needs; checking it on real
+  protocol states guards the hand-written relation against drift.
+"""
+
+import pytest
+
+from repro.core.explore import explore_write_read_race
+from repro.engine import ExplorationResult
+from repro.protocols import REGISTRY
+
+#: every POR-safe protocol, with a depth that keeps the reduced search
+#: exhaustive-or-cheap, and the expected write/read-race verdict
+MATRIX = {
+    "fastclaim": (26, True),
+    "cops": (26, False),
+    "cops_snow": (26, False),
+    "cops_rw": (26, False),
+    "eiger": (22, False),
+    "ramp": (22, False),
+    "ramp_small": (18, False),
+    "occult": (18, False),
+    "handshake": (26, True),
+    "calvin": (26, False),
+}
+
+
+def anomaly_union(result: ExplorationResult):
+    return frozenset(
+        str(a) for _, anomalies in result.violations for a in anomalies
+    )
+
+
+def test_matrix_covers_every_por_safe_protocol():
+    por_safe = {name for name, info in REGISTRY.items() if info.por_safe}
+    assert por_safe == set(MATRIX)
+
+
+@pytest.mark.parametrize("protocol", sorted(MATRIX))
+def test_strategies_and_workers_agree(protocol):
+    """DFS / BFS / workers=2 (all POR): same verdict, same anomaly set."""
+    depth, expect_violation = MATRIX[protocol]
+    arms = {
+        key: explore_write_read_race(
+            protocol,
+            max_depth=depth,
+            max_states=60_000,
+            first_violation_only=False,
+            por=True,
+            **kw,
+        )
+        for key, kw in [
+            ("dfs", {}),
+            ("bfs", dict(strategy="bfs")),
+            ("workers2", dict(workers=2)),
+        ]
+    }
+    for key, r in arms.items():
+        assert r.violation_found == expect_violation, (protocol, key)
+        assert not r.exhausted, (protocol, key)
+    assert (
+        anomaly_union(arms["dfs"])
+        == anomaly_union(arms["bfs"])
+        == anomaly_union(arms["workers2"])
+    )
+
+
+#: the two seed scenarios of the POR acceptance gate, at full scope
+#: (depth past quiescence, zero truncation — the verdict is exhaustive)
+FULL_SCOPE = {"fastclaim": 18, "cops": 22}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", sorted(FULL_SCOPE))
+def test_por_identical_verdict_2x_fewer_states(protocol):
+    depth = FULL_SCOPE[protocol]
+    kw = dict(
+        max_depth=depth, max_states=80_000, first_violation_only=False
+    )
+    plain = explore_write_read_race(protocol, **kw)
+    reduced = explore_write_read_race(protocol, por=True, **kw)
+    # both explorations cover the entire scope...
+    for r in (plain, reduced):
+        assert r.truncated == 0 and not r.exhausted
+    # ...agree on the verdict and on *which* anomalies exist...
+    assert plain.violation_found == reduced.violation_found
+    assert anomaly_union(plain) == anomaly_union(reduced)
+    # ...and the reduction pays: >= 2x fewer expanded configurations
+    assert plain.states_visited >= 2 * reduced.states_visited, (
+        plain.states_visited,
+        reduced.states_visited,
+    )
+
+
+def test_workers_bit_identical_first_violation():
+    """The parallel frontier reports the same first violation as serial."""
+    kw = dict(max_depth=30, max_states=60_000, por=True)
+    serial = explore_write_read_race("fastclaim", workers=1, **kw)
+    fanned = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert serial.violation_found and fanned.violation_found
+    s_sched, s_anoms = serial.violations[0]
+    f_sched, f_anoms = fanned.violations[0]
+    assert s_sched == f_sched
+    assert [str(a) for a in s_anoms] == [str(a) for a in f_anoms]
+
+
+def test_workers_merge_counters():
+    r = explore_write_read_race(
+        "cops", max_depth=26, max_states=60_000,
+        first_violation_only=False, por=True, workers=2,
+    )
+    assert r.workers == 2
+    assert r.counters is not None and r.counters.snapshots > 0
+
+
+def test_por_refused_for_unsafe_protocols():
+    """Synchronized-clock protocols branch on the global step counter;
+    the registry says so and the wrapper refuses to reduce them."""
+    unsafe = {name for name, info in REGISTRY.items() if not info.por_safe}
+    assert "spanner" in unsafe and "wren" in unsafe
+    for protocol in ("spanner", "wren"):
+        with pytest.raises(ValueError, match="not declared POR-safe"):
+            explore_write_read_race(protocol, max_depth=8, por=True)
+
+
+def test_states_deduped_split():
+    """Revisits are no longer folded into states_visited."""
+    r = explore_write_read_race(
+        "fastclaim", max_depth=18, max_states=80_000,
+        first_violation_only=False,
+    )
+    assert r.states_deduped > 0
+    assert r.steps == r.states_visited  # SearchOutcome vocabulary
+
+
+@pytest.mark.parametrize("protocol", ["fastclaim", "cops"])
+def test_independence_diamond_property(protocol):
+    """Empirical soundness of the independence relation.
+
+    Walk a fixed pseudo-random schedule; at each visited configuration,
+    for every enabled pair declared independent, applying the two events
+    in either order must reach the same canonical fingerprint and leave
+    the same events enabled.
+    """
+    import random
+
+    from repro.core.setup import prepare_theorem_system
+    from repro.sim.events import enabled_events, independent
+    from repro.txn.types import read_only_txn, write_only_txn
+
+    tsys = prepare_theorem_system(protocol, n_probes=2)
+    sim = tsys.system.sim
+    if REGISTRY[protocol].supports_wtx:
+        sim.invoke(tsys.cw, write_only_txn(dict(tsys.new_values), txid="Tw"))
+    else:
+        for i, (obj, val) in enumerate(sorted(tsys.new_values.items())):
+            sim.invoke(tsys.cw, write_only_txn({obj: val}, txid=f"Tw{i}"))
+    sim.invoke(tsys.probes[0], read_only_txn(tsys.objects, txid="Tr"))
+    pids = (tsys.cw, tsys.probes[0]) + tuple(tsys.servers)
+
+    rng = random.Random(7)
+    checked = 0
+    for _ in range(40):  # schedule prefix of 40 moves
+        events = enabled_events(sim, pids)
+        if not events:
+            break
+        here = sim.snapshot()
+        for a in events:
+            for b in events:
+                if not independent(a, b):
+                    continue
+                sim.restore(here)
+                a.apply(sim)
+                b.apply(sim)
+                fp_ab = sim.fingerprint(canonical=True)
+                en_ab = set(enabled_events(sim, pids))
+                sim.restore(here)
+                b.apply(sim)
+                a.apply(sim)
+                assert sim.fingerprint(canonical=True) == fp_ab, (a, b)
+                # as a *set*: enumeration order tracks msg_id numbering,
+                # which is exactly what the canonical quotient masks
+                assert set(enabled_events(sim, pids)) == en_ab, (a, b)
+                checked += 1
+        sim.restore(here)
+        events[rng.randrange(len(events))].apply(sim)
+    assert checked > 50  # the walk actually exercised the relation

@@ -14,7 +14,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.explore import _enabled_events, explore_write_read_race
+from repro.core.explore import explore_write_read_race
+from repro.sim.events import enabled_events
 from repro.core.setup import prepare_theorem_system
 from repro.sim.executor import (
     Configuration,
@@ -247,14 +248,10 @@ def apply_choices(sim, choices):
     """Drive the sim by the explorer's own enabled-event menu."""
     applied = 0
     for c in choices:
-        events = _enabled_events(sim, ("p", "e"))
+        events = enabled_events(sim, ("p", "e"))
         if not events:
             break
-        _, action = events[c % len(events)]
-        if action[0] == "d":
-            sim.deliver(action[1], action[2], action[3])
-        else:
-            sim.step(action[1])
+        events[c % len(events)].apply(sim)
         applied += 1
     return applied
 

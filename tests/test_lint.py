@@ -31,6 +31,7 @@ FIXTURE_CODES = [
     "RL402",
     "RL403",
     "RL404",
+    "RL405",
 ]
 
 
