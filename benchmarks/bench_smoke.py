@@ -92,9 +92,53 @@ def fork_machinery_smoke() -> bool:
     return ok
 
 
+def checker_smoke() -> bool:
+    """The delta checkers against the per-leaf batch scan.
+
+    Both arms must produce identical exact counts (including ``checks``)
+    and identical anomaly strings; the per-leaf checker cost is printed
+    as a throughput ledger for eyeballing, never asserted.
+    """
+    kwargs = dict(
+        max_depth=30, max_states=60_000, first_violation_only=False
+    )
+    inc = explore_write_read_race("fastclaim", **kwargs)
+    bat = explore_write_read_race("fastclaim", incremental=False, **kwargs)
+
+    def key(r):
+        return dict(
+            states_visited=r.states_visited,
+            states_deduped=r.states_deduped,
+            schedules_completed=r.schedules_completed,
+            checks=r.checks,
+            anomalies=sorted(
+                {str(a) for _, anomalies in r.violations for a in anomalies}
+            ),
+        )
+
+    ok = key(inc) == key(bat)
+    ok &= inc.incremental and not bat.incremental
+    ok &= inc.checks == EXPECT_CHECKS
+    for label, r in (("incremental", inc), ("batch", bat)):
+        per = r.checker_seconds / r.checks * 1e6 if r.checks else 0.0
+        print(
+            f"{'ok  ' if ok else 'FAIL'} checker {label}: "
+            f"{r.checks} leaves, {r.checker_seconds * 1e3:.1f}ms checker "
+            f"({per:.0f}us/leaf)"
+        )
+    if inc.checks != EXPECT_CHECKS:
+        print(f"     expected checks={EXPECT_CHECKS}, got {inc.checks}")
+    return ok
+
+
+#: exact leaf count of the checker smoke scenario (machine-independent)
+EXPECT_CHECKS = 5_395
+
+
 def main() -> int:
     failures = 0
     failures += not fork_machinery_smoke()
+    failures += not checker_smoke()
     for label, (proto, kwargs, expect) in BASELINES.items():
         t0 = time.perf_counter()
         r = explore_write_read_race(proto, **kwargs)

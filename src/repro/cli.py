@@ -200,6 +200,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         por=args.por,
         workers=args.workers,
+        incremental=False if args.batch_checker else None,
+        checker_oracle=args.checker_oracle,
         **_proto_params(args),
     )
     print(result.describe())
@@ -298,8 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--no-por", dest="por", action="store_false")
     e.add_argument("--workers", type=int, default=1,
                    help="parallel frontier worker processes")
-    e.add_argument("--checker", choices=("causal", "read-atomic"),
+    e.add_argument("--checker", choices=("causal", "read-atomic", "sessions"),
                    default="causal")
+    e.add_argument("--batch-checker", action="store_true",
+                   help="force the whole-history batch scan at every leaf "
+                        "instead of the incremental delta checkers")
+    e.add_argument("--checker-oracle", action="store_true",
+                   help="cross-check every incremental verdict against the "
+                        "batch scan (slow; debugging aid)")
     e.add_argument("--max-depth", type=int, default=40)
     e.add_argument("--max-states", type=int, default=50_000)
     e.add_argument("--sync-hops", type=int, default=None)

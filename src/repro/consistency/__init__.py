@@ -5,13 +5,22 @@
 * :func:`check_serializable` / :func:`check_strict_serializable`;
 * :func:`check_read_atomic` / :func:`find_fractured_reads` — RAMP's level;
 * :func:`check_sessions` — the four session guarantees;
-* :func:`check_history` — one-call verdict at a claimed level.
+* :func:`check_history` — one-call verdict at a claimed level;
+* :class:`IncrementalCausalChecker` / :class:`IncrementalReadAtomicChecker`
+  / :class:`IncrementalSessionChecker` — delta-driven, checkpointable
+  versions of the scans above for the exploration hot path.
 """
 
 from repro.consistency.atomicity import (
     FracturedRead,
     check_read_atomic,
     find_fractured_reads,
+)
+from repro.consistency.incremental import (
+    IncrementalCausalChecker,
+    IncrementalChecker,
+    IncrementalReadAtomicChecker,
+    IncrementalSessionChecker,
 )
 from repro.consistency.causal import (
     CausalAnomaly,
@@ -48,4 +57,8 @@ __all__ = [
     "check_strict_serializable",
     "SessionViolation",
     "check_sessions",
+    "IncrementalChecker",
+    "IncrementalCausalChecker",
+    "IncrementalReadAtomicChecker",
+    "IncrementalSessionChecker",
 ]

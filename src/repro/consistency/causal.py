@@ -28,11 +28,11 @@ Two checkers, used together:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional
 
 from repro.consistency.search import SearchResult, find_legal_serialization
-from repro.txn.history import CausalOrder, History
-from repro.txn.types import BOTTOM, ObjectId, TxnRecord, Value
+from repro.txn.history import History
+from repro.txn.types import BOTTOM, ObjectId, Value
 
 
 @dataclass(frozen=True)
@@ -68,17 +68,9 @@ class CausalCheckResult:
 def find_causal_anomalies(history: History) -> List[CausalAnomaly]:
     """Fast, sound anomaly scan (see module docstring)."""
     history.check_unique_values()
-    try:
-        order = history.causal_order()
-    except ValueError as exc:
-        # a cycle in program-order ∪ reads-from is itself a violation, but
-        # we cannot attribute it to a single read; report via exact path
-        raise
+    order = history.causal_order()
     writers = history.writer_index()
-    by_obj: Dict[ObjectId, List[TxnRecord]] = {}
-    for rec in history.records:
-        for obj, _ in rec.txn.writes:
-            by_obj.setdefault(obj, []).append(rec)
+    by_obj = history.writers_by_object()
 
     anomalies: List[CausalAnomaly] = []
     for rec in history.records:

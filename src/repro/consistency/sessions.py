@@ -35,6 +35,9 @@ class SessionViolation:
     obj: ObjectId
     detail: str
 
+    def describe(self) -> str:
+        return f"[{self.guarantee}] {self.detail}"
+
 
 def _writer_of(history: History):
     writers = history.writer_index()

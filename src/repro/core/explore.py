@@ -18,7 +18,7 @@ callers keep importing it from here.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.engine import ExplorationResult, run as engine_run
 from repro.protocols.base import System
@@ -38,23 +38,29 @@ def explore(
     por: bool = False,
     workers: int = 1,
     rng_seed: int = 0,
+    incremental: Optional[bool] = None,
+    checker_oracle: bool = False,
 ) -> ExplorationResult:
     """Exhaustively explore every schedule of ``script`` on ``system``.
 
     ``script`` is a list of (client, transaction) pairs, all invoked up
     front; the adversary then chooses every interleaving of steps and
     deliveries.  Each maximal (quiescent) schedule's history is checked
-    with ``checker`` — ``"causal"`` (Definition 1 anomalies) or
-    ``"read-atomic"`` (fractured reads).  The latter supports the
-    paper's closing question about the weakest consistency condition for
-    which the impossibility holds: it lets the explorer hunt for
-    schedules where a "fast" protocol breaks read atomicity, a strictly
-    weaker level than causal consistency.
+    with ``checker`` — ``"causal"`` (Definition 1 anomalies),
+    ``"read-atomic"`` (fractured reads) or ``"sessions"`` (the four
+    session guarantees).  The weaker levels support the paper's closing
+    question about the weakest consistency condition for which the
+    impossibility holds: they let the explorer hunt for schedules where
+    a "fast" protocol breaks read atomicity or a session guarantee,
+    strictly weaker levels than causal consistency.
 
     ``strategy``, ``por`` and ``workers`` forward to the engine:
     sleep-set partial-order reduction keeps one representative per
     Mazurkiewicz trace (identical verdicts, far fewer states), and
     ``workers > 1`` fans subtree roots out to worker processes.
+    DFS walks use the incremental delta checkers by default
+    (``incremental=False`` forces the batch scan; ``checker_oracle=True``
+    cross-checks every leaf against it).
     """
     sim = system.sim
     for client, txn in script:
@@ -69,6 +75,8 @@ def explore(
         max_states=max_states,
         first_violation_only=first_violation_only,
         rng_seed=rng_seed,
+        incremental=incremental,
+        checker_oracle=checker_oracle,
     )
 
 
@@ -81,6 +89,8 @@ def explore_write_read_race(
     por: bool = False,
     workers: int = 1,
     first_violation_only: bool = True,
+    incremental: Optional[bool] = None,
+    checker_oracle: bool = False,
     **params,
 ) -> ExplorationResult:
     """The canonical scenario: the theorem's write racing a fast ROT.
@@ -131,4 +141,6 @@ def explore_write_read_race(
         strategy=strategy,
         por=por,
         workers=workers,
+        incremental=incremental,
+        checker_oracle=checker_oracle,
     )

@@ -15,6 +15,7 @@ Public surface:
 
 from repro.engine.core import (
     STRATEGIES,
+    CheckerSpec,
     ExplorationResult,
     SearchNode,
     SerialSearch,
@@ -25,6 +26,7 @@ from repro.engine.outcome import SearchOutcome
 
 __all__ = [
     "STRATEGIES",
+    "CheckerSpec",
     "ExplorationResult",
     "SearchNode",
     "SearchOutcome",

@@ -39,17 +39,30 @@ every other layer honest about that.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.outcome import SearchOutcome
-from repro.sim.events import Event, enabled_events, independent
+from repro.sim.events import Event, Step, enabled_events, independent
 from repro.sim.executor import Configuration, SimCounters, Simulation
 from repro.sim.messages import ProcessId
 
 STRATEGIES = ("dfs", "bfs", "random")
 
 _EMPTY: FrozenSet[Event] = frozenset()
+
+
+def _wall() -> float:
+    """Host wall-clock, for ``checker_seconds`` instrumentation only.
+
+    The value never feeds simulated time, verdicts or fingerprints — it
+    measures the real cost of consistency checking so benchmarks can
+    compare the delta checkers against the batch scan.
+    """
+    # repro-lint: disable=RL101 — host-side cost instrumentation; the
+    # simulation never observes this value
+    return time.perf_counter()
 
 
 @dataclass
@@ -89,6 +102,12 @@ class ExplorationResult(SearchOutcome):
     strategy: str = "dfs"
     por: bool = False
     workers: int = 1
+    #: leaves whose history was given a verdict
+    checks: int = 0
+    #: wall-clock spent in checker work (delta consumption + verdicts for
+    #: the incremental path; history extraction + scan for the batch path)
+    checker_seconds: float = 0.0
+    incremental: bool = False
 
     @property
     def violation_found(self) -> bool:
@@ -124,16 +143,43 @@ class ExplorationResult(SearchOutcome):
         return "\n".join(lines)
 
 
-def resolve_checker(checker: str) -> Callable:
-    """Map a checker name to its anomaly-scan function."""
+@dataclass(frozen=True)
+class CheckerSpec:
+    """A checker resolved to its batch scan and incremental factory.
+
+    ``batch`` is the whole-history anomaly scan (the reference oracle);
+    ``incremental`` constructs a fresh
+    :class:`~repro.consistency.incremental.IncrementalChecker` whose
+    verdicts are bit-identical to ``batch`` on the same records.  The
+    DFS strategies consume committed-record deltas through the
+    incremental checker by default; ``incremental=None`` means the
+    checker has no delta form and always runs batch.
+    """
+
+    name: str
+    batch: Callable
+    incremental: Optional[Callable] = None
+
+
+def resolve_checker(checker: str) -> CheckerSpec:
+    """Map a checker name to its batch scan + incremental factory."""
     if checker == "causal":
         from repro.consistency.causal import find_causal_anomalies
+        from repro.consistency.incremental import IncrementalCausalChecker
 
-        return find_causal_anomalies
+        return CheckerSpec("causal", find_causal_anomalies, IncrementalCausalChecker)
     if checker == "read-atomic":
         from repro.consistency.atomicity import find_fractured_reads
+        from repro.consistency.incremental import IncrementalReadAtomicChecker
 
-        return find_fractured_reads
+        return CheckerSpec(
+            "read-atomic", find_fractured_reads, IncrementalReadAtomicChecker
+        )
+    if checker == "sessions":
+        from repro.consistency.incremental import IncrementalSessionChecker
+        from repro.consistency.sessions import check_sessions
+
+        return CheckerSpec("sessions", check_sessions, IncrementalSessionChecker)
     raise ValueError(f"unknown checker {checker!r}")
 
 
@@ -163,19 +209,23 @@ class SerialSearch:
         pids: Sequence[ProcessId],
         clients: Sequence[ProcessId],
         result: ExplorationResult,
-        find_anomalies: Callable,
+        checker: "CheckerSpec | Callable",
         max_depth: int,
         max_states: int,
         first_violation_only: bool,
         por: bool,
         rng_seed: int = 0,
         trail_prefix: Tuple[str, ...] = (),
+        incremental: bool = False,
+        oracle: bool = False,
     ):
         self.sim = sim
         self.pids = tuple(pids)
         self.clients = tuple(clients)
         self.result = result
-        self.find_anomalies = find_anomalies
+        if not isinstance(checker, CheckerSpec):  # bare batch callable
+            checker = CheckerSpec(getattr(checker, "__name__", "?"), checker)
+        self.checker = checker
         self.max_depth = max_depth
         self.max_states = max_states
         self.first_violation_only = first_violation_only
@@ -191,6 +241,66 @@ class SerialSearch:
         # POR every sleep set is empty and this degenerates to a set.
         self._seen: dict = {}
         self._trail: List[Event] = []
+        # Incremental checking (DFS-shaped walks only: the checker's
+        # checkpoint/rollback runs in lockstep with apply/restore, which
+        # needs the stack discipline).  The checker is primed here from
+        # the sim's *current* configuration — for a parallel subtree
+        # root that one advance rebuilds the whole prefix state, after
+        # which the subtree is pure delta work.
+        self.incremental = bool(incremental and checker.incremental is not None)
+        self.oracle = oracle
+        self._checker = None
+        self._consumed: Dict[str, int] = {}
+        self._client_set = frozenset(self.clients)
+        if self.incremental:
+            from repro.txn.history import committed_deltas
+
+            t0 = _wall()
+            self._checker = checker.incremental()
+            self._consumed, fresh = committed_deltas(sim, self.clients, {})
+            if fresh:
+                self._checker.advance(fresh)
+            result.checker_seconds += _wall() - t0
+
+    # -- incremental checker lockstep --------------------------------------
+
+    def _delta_collect(self, pid: ProcessId) -> Optional[tuple]:
+        """After a client step: collect newly-committed records.
+
+        Commits only happen inside ``Simulation.step`` of a client (a
+        delivery just parks the message in the income buffer), so the
+        DFS loops call this for client-step edges only, and only ``pid``
+        can have committed.  Returns ``(rollback token, fresh records)``
+        for :meth:`_delta_rollback`, or None when the step did not
+        commit.
+
+        Collecting does **not** consume: the fresh records ride into the
+        recursive call and are consumed only once the child survives its
+        dedup/budget checks (or is a checked leaf), so subtrees that die
+        unexplored never pay checker work.  A consumed delta is shared
+        by the whole surviving subtree — every leaf verdict in it is
+        then just :meth:`IncrementalChecker.anomalies` on maintained
+        state.
+        """
+        from repro.txn.history import committed_deltas
+
+        consumed = self._consumed
+        if len(self.sim.processes[pid].completed) == consumed.get(pid, 0):
+            return None
+        token = (self._checker.checkpoint(), consumed)
+        self._consumed, fresh = committed_deltas(
+            self.sim, self.clients, consumed
+        )
+        return (token, fresh)
+
+    def _delta_consume(self, fresh: tuple) -> None:
+        t0 = _wall()
+        self._checker.advance(fresh)
+        self.result.checker_seconds += _wall() - t0
+
+    def _delta_rollback(self, token: tuple) -> None:
+        self._checker.rollback(token[0])
+        self._consumed = token[1]
 
     def _fingerprint(self, snap: Configuration) -> bytes:
         """The seen-set key for the current configuration.
@@ -229,8 +339,23 @@ class SerialSearch:
 
         r = self.result
         r.schedules_completed += 1
-        hist = build_history(self.sim, clients=self.clients)
-        anomalies = self.find_anomalies(hist)
+        r.checks += 1
+        t0 = _wall()
+        if self.incremental:
+            anomalies = self._checker.anomalies()
+        else:
+            hist = build_history(self.sim, clients=self.clients)
+            anomalies = self.checker.batch(hist)
+        r.checker_seconds += _wall() - t0
+        if self.oracle and self.incremental:
+            hist = build_history(self.sim, clients=self.clients)
+            expect = self.checker.batch(hist)
+            if anomalies != expect:
+                raise AssertionError(
+                    f"incremental {self.checker.name} verdict diverged "
+                    f"from the batch oracle:\n  incremental: {anomalies!r}"
+                    f"\n  batch:       {expect!r}"
+                )
         if anomalies:
             labels = list(self.trail_prefix) + [e.label for e in self._trail]
             r.violations.append((labels, anomalies))
@@ -250,9 +375,11 @@ class SerialSearch:
 
     def run_dfs(self, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
         """Depth-first from the sim's current configuration."""
-        self._dfs(depth, sleep)
+        self._dfs(depth, sleep, ())
 
-    def _dfs(self, depth: int, sleep: FrozenSet[Event]) -> None:
+    def _dfs(
+        self, depth: int, sleep: FrozenSet[Event], fresh: Sequence
+    ) -> None:
         r = self.result
         events = enabled_events(self.sim, self.pids)
         if not events:
@@ -262,6 +389,8 @@ class SerialSearch:
                 r.truncated += 1
                 return
             if clients_done(self.sim, self.clients):
+                if fresh:
+                    self._delta_consume(fresh)
                 self._check_leaf()
             return  # stuck without finishing: not a legal maximal run
         # one snapshot per node: every child branch mutates the live sim
@@ -282,6 +411,11 @@ class SerialSearch:
         if depth >= self.max_depth:
             r.truncated += 1
             return
+        if fresh:
+            # the node survived its dedup and budget checks: consume the
+            # records committed on the entering edge; the whole subtree
+            # shares the result
+            self._delta_consume(fresh)
         explorable = (
             [e for e in events if e not in sleep] if self.por else events
         )
@@ -290,7 +424,19 @@ class SerialSearch:
             child_sleep = self._child_sleep(sleep, prior, e)
             e.apply(self.sim)
             self._trail.append(e)
-            self._dfs(depth + 1, child_sleep)
+            # collect in lockstep with apply; rollback in lockstep with
+            # restore — backtracking reuses the parent's checker state
+            # instead of recomputing it.  None on non-commit edges.
+            ck = (
+                self._delta_collect(e.pid)
+                if self.incremental
+                and e.__class__ is Step
+                and e.pid in self._client_set
+                else None
+            )
+            self._dfs(depth + 1, child_sleep, ck[1] if ck else ())
+            if ck is not None:
+                self._delta_rollback(ck[0])
             self._trail.pop()
             self.sim.restore(snap)
             prior.append(e)
@@ -312,7 +458,7 @@ class SerialSearch:
         counted — the worker that expands it counts it).
         """
         roots: List[SearchNode] = []
-        self._seed(cutoff, depth, sleep, roots)
+        self._seed(cutoff, depth, sleep, roots, ())
         return roots
 
     def _seed(
@@ -321,6 +467,7 @@ class SerialSearch:
         depth: int,
         sleep: FrozenSet[Event],
         roots: List[SearchNode],
+        fresh: Sequence,
     ) -> None:
         r = self.result
         events = enabled_events(self.sim, self.pids)
@@ -331,6 +478,8 @@ class SerialSearch:
                 r.truncated += 1
                 return
             if clients_done(self.sim, self.clients):
+                if fresh:
+                    self._delta_consume(fresh)
                 self._check_leaf()
             return
         snap = self.sim.snapshot()
@@ -351,6 +500,8 @@ class SerialSearch:
             self.exhausted = True
             r.truncated += 1
             return
+        if fresh:
+            self._delta_consume(fresh)
         explorable = (
             [e for e in events if e not in sleep] if self.por else events
         )
@@ -359,7 +510,16 @@ class SerialSearch:
             child_sleep = self._child_sleep(sleep, prior, e)
             e.apply(self.sim)
             self._trail.append(e)
-            self._seed(cutoff, depth + 1, child_sleep, roots)
+            ck = (
+                self._delta_collect(e.pid)
+                if self.incremental
+                and e.__class__ is Step
+                and e.pid in self._client_set
+                else None
+            )
+            self._seed(cutoff, depth + 1, child_sleep, roots, ck[1] if ck else ())
+            if ck is not None:
+                self._delta_rollback(ck[0])
             self._trail.pop()
             self.sim.restore(snap)
             prior.append(e)
@@ -471,6 +631,12 @@ class SerialSearch:
                     break
 
     def run(self, strategy: str, depth: int = 0, sleep: FrozenSet[Event] = _EMPTY) -> None:
+        if strategy != "dfs":
+            # BFS and random walks jump between non-ancestor
+            # configurations, which the trail-based checker rollback
+            # cannot follow — they keep the batch scan
+            self.incremental = False
+        self.result.incremental = self.incremental
         if strategy == "dfs":
             self.run_dfs(depth, sleep)
         elif strategy == "bfs":
@@ -494,6 +660,8 @@ def run(
     max_states: int = 50_000,
     first_violation_only: bool = True,
     rng_seed: int = 0,
+    incremental: Optional[bool] = None,
+    checker_oracle: bool = False,
 ) -> ExplorationResult:
     """Explore every schedule of ``system``'s current configuration.
 
@@ -503,15 +671,27 @@ def run(
     sleep-set partial-order reduction; ``workers > 1`` fans subtree
     roots out to worker processes (see :mod:`repro.engine.parallel`; the
     state budget then applies per worker).
+
+    ``incremental=None`` (the default) uses the delta checkers on DFS
+    walks and the batch scan elsewhere; ``False`` forces the batch scan
+    everywhere, ``True`` requests the delta checkers (still a no-op for
+    BFS/random, whose configuration jumps the checker rollback cannot
+    follow).  ``checker_oracle=True`` additionally runs the batch scan
+    at every leaf and raises if the verdicts are not bit-identical.
     """
     if strategy not in STRATEGIES:
         raise ValueError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
-    find_anomalies = resolve_checker(checker)
+    spec = resolve_checker(checker)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     por = por and strategy != "random"
+    use_inc = (
+        (incremental if incremental is not None else True)
+        and strategy == "dfs"
+        and spec.incremental is not None
+    )
     result = ExplorationResult(
         protocol=system.info.name,
         strategy=strategy,
@@ -534,18 +714,22 @@ def run(
             first_violation_only=first_violation_only,
             rng_seed=rng_seed,
             result=result,
+            incremental=use_inc,
+            oracle=checker_oracle,
         )
     search = SerialSearch(
         sim,
         pids,
         system.clients,
         result,
-        find_anomalies,
+        spec,
         max_depth,
         max_states,
         first_violation_only,
         por,
         rng_seed=rng_seed,
+        incremental=use_inc,
+        oracle=checker_oracle,
     )
     search.run(strategy)
     result.exhausted = search.exhausted

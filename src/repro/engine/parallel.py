@@ -64,6 +64,9 @@ def _worker_run(payload: bytes) -> bytes:
         strategy=args["strategy"],
         por=args["por"],
     )
+    # the subtree root's checker state is rebuilt once here, from the
+    # shipped snapshot (SerialSearch primes the incremental checker from
+    # the sim's current configuration); the subtree is then pure deltas
     search = SerialSearch(
         sim,
         args["pids"],
@@ -76,6 +79,8 @@ def _worker_run(payload: bytes) -> bytes:
         args["por"],
         rng_seed=args["rng_seed"],
         trail_prefix=args["trail_prefix"],
+        incremental=args["incremental"],
+        oracle=args["oracle"],
     )
     search.run(args["strategy"], depth=args["depth"], sleep=args["sleep"])
     result.exhausted = search.exhausted
@@ -89,6 +94,8 @@ def _worker_run(payload: bytes) -> bytes:
             "violations": result.violations,
             "exhausted": result.exhausted,
             "counters": result.counters,
+            "checks": result.checks,
+            "checker_seconds": result.checker_seconds,
         }
     )
 
@@ -105,12 +112,14 @@ def run_parallel(
     first_violation_only: bool,
     rng_seed: int,
     result: ExplorationResult,
+    incremental: bool = False,
+    oracle: bool = False,
 ) -> ExplorationResult:
     """Fan the exploration of ``system`` out to ``workers`` processes."""
     sim = system.sim
     pids = tuple(system.clients) + tuple(system.service_pids)
     clients = tuple(system.clients)
-    find_anomalies = resolve_checker(checker)
+    spec = resolve_checker(checker)
     root_snap = sim.snapshot()
     target = max(workers * ROOTS_PER_WORKER, workers + 1)
 
@@ -131,12 +140,14 @@ def run_parallel(
             pids,
             clients,
             partial,
-            find_anomalies,
+            spec,
             max_depth,
             max_states,
             first_violation_only,
             por,
             rng_seed=rng_seed,
+            incremental=incremental,
+            oracle=oracle,
         )
         roots = search.collect_frontier(cutoff)
         if (
@@ -172,6 +183,8 @@ def run_parallel(
                 "first_violation_only": first_violation_only,
                 "rng_seed": rng_seed + i,
                 "protocol": result.protocol,
+                "incremental": incremental,
+                "oracle": oracle,
             }
         )
         for i, node in enumerate(roots)
@@ -186,6 +199,8 @@ def run_parallel(
             partial.states_deduped += sub["states_deduped"]
             partial.schedules_completed += sub["schedules_completed"]
             partial.truncated += sub["truncated"]
+            partial.checks += sub["checks"]
+            partial.checker_seconds += sub["checker_seconds"]
             partial.violations.extend(sub["violations"])
             exhausted = exhausted or sub["exhausted"]
             sim.counters.merge(sub["counters"])
@@ -209,7 +224,10 @@ def _finalize(
     result.states_deduped = partial.states_deduped
     result.schedules_completed = partial.schedules_completed
     result.truncated = partial.truncated
+    result.checks = partial.checks
+    result.checker_seconds = partial.checker_seconds
     result.violations = partial.violations
     result.exhausted = search.exhausted
     result.steps = result.states_visited
+    result.incremental = search.incremental
     result.counters = replace(sim.counters)

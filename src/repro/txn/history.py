@@ -11,15 +11,302 @@ This is exactly the information the consistency definitions consume:
 * real-time precedence (``T1`` completes before ``T2`` is invoked);
 * the reads-from function (well defined because the harness generates
   globally unique written values, the paper's simplifying assumption).
+
+Derived indices (writer index, per-client projections, reads-from,
+causal order, …) are **dirty-tracked caches** keyed on an append token:
+repeated checker calls on the same history reuse them, and a history
+that only *grew* since the last call extends them incrementally instead
+of rebuilding (the checkers run once per explored schedule, so this is
+a hot path — see ``docs/model.md``, "Checker cost and incrementality").
+Records are frozen; the supported mutations of ``records`` are append /
+extend (incremental) and wholesale replacement or reordering (detected,
+full rebuild).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.txn.types import BOTTOM, ObjectId, Transaction, TxnRecord, Value
+
+
+class CausalOrder:
+    """A strict partial order on transaction ids with fast ``<`` queries.
+
+    Reach-sets are stored as integer bitmasks (one Python big-int row
+    per node), so ``lt`` is a single bit test and closure updates are
+    word-parallel ``|=`` operations.  The order supports two modes of
+    construction:
+
+    * :meth:`from_edges` — batch: build the transitive closure of an
+      edge set in one pass (raises on cycles);
+    * :meth:`add_node` / :meth:`add_edge` / :meth:`extend` — append
+      path: grow the closed order in place.  ``add_edge`` returns the
+      *closure delta* (the pairs newly related by the edge), which is
+      what lets the incremental checkers re-examine only the reads and
+      writes an edge could have affected.
+
+    Mutations are recorded on an undo trail: :meth:`checkpoint` returns
+    a token and :meth:`rollback` restores the order to that token, in
+    lockstep with the exploration engine's fork/restore discipline.
+    """
+
+    def __init__(self, nodes: Iterable[str] = ()):
+        self.nodes: List[str] = list(nodes)
+        self._idx: Dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        #: reach rows: bit ``j`` of ``_reach[i]`` set iff nodes[i] < nodes[j]
+        self._reach: List[int] = [0] * len(self.nodes)
+        #: undo trail: ("row", i, old_mask) and ("node", txid) entries
+        self._trail: List[Tuple] = []
+
+    # -- batch construction -------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]
+    ) -> "CausalOrder":
+        order = cls(nodes)
+        succ: Dict[int, Set[int]] = defaultdict(set)
+        for a, b in edges:
+            ia, ib = order._idx.get(a), order._idx.get(b)
+            if ia is not None and ib is not None and ia != ib:
+                succ[ia].add(ib)
+        # transitive closure by reverse-postorder DFS with memoization;
+        # cycles (which would indicate a corrupted history) are rejected.
+        color = [0] * len(order.nodes)  # 0 white, 1 grey, 2 black
+        reach = order._reach
+
+        def dfs(u: int) -> None:
+            color[u] = 1
+            acc = reach[u]
+            for v in succ.get(u, ()):  # noqa: B023
+                if color[v] == 1:
+                    raise ValueError("cycle in causal order (corrupted history)")
+                if color[v] == 0:
+                    dfs(v)
+                acc |= (1 << v) | reach[v]
+            reach[u] = acc
+            color[u] = 2
+
+        for u in range(len(order.nodes)):
+            if color[u] == 0:
+                dfs(u)
+        return order
+
+    # -- append path --------------------------------------------------------
+
+    def add_node(self, txid: str) -> int:
+        """Append a node (no relations yet); returns its index."""
+        if txid in self._idx:
+            raise ValueError(f"duplicate node {txid!r} in causal order")
+        i = len(self.nodes)
+        self.nodes.append(txid)
+        self._idx[txid] = i
+        self._reach.append(0)
+        self._trail.append(("node", txid))
+        return i
+
+    def add_edge(self, a: str, b: str) -> List[Tuple[str, str]]:
+        """Relate ``a < b``, close transitively, and return the delta.
+
+        The delta is the list of ``(x, y)`` pairs (txids) that were *not*
+        related before this call and are now — including ``(a, b)``
+        itself when new.  Raises :class:`ValueError` if the edge would
+        create a cycle; the order is unchanged in that case.
+        """
+        ia, ib = self._idx[a], self._idx[b]
+        if ia == ib or (self._reach[ib] >> ia) & 1:
+            raise ValueError("cycle in causal order (corrupted history)")
+        targets = self._reach[ib] | (1 << ib)
+        reach = self._reach
+        nodes = self.nodes
+        delta: List[Tuple[str, str]] = []
+        ubit = 1 << ia
+        for w in range(len(nodes)):
+            if w != ia and not (reach[w] & ubit):
+                continue
+            new = targets & ~reach[w]
+            if not new:
+                continue
+            self._trail.append(("row", w, reach[w]))
+            reach[w] |= new
+            x = nodes[w]
+            while new:
+                low = new & -new
+                delta.append((x, nodes[low.bit_length() - 1]))
+                new ^= low
+        return delta
+
+    def extend(self, edges: Iterable[Tuple[str, str]]) -> List[Tuple[str, str]]:
+        """Add several edges; returns the concatenated closure delta."""
+        delta: List[Tuple[str, str]] = []
+        for a, b in edges:
+            delta.extend(self.add_edge(a, b))
+        return delta
+
+    # -- fork/restore lockstep ----------------------------------------------
+
+    def checkpoint(self) -> int:
+        return len(self._trail)
+
+    def rollback(self, token: int) -> None:
+        trail = self._trail
+        while len(trail) > token:
+            entry = trail.pop()
+            if entry[0] == "row":
+                self._reach[entry[1]] = entry[2]
+            else:  # "node"
+                txid = entry[1]
+                self.nodes.pop()
+                del self._idx[txid]
+                self._reach.pop()
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._idx
+
+    def lt(self, a: str, b: str) -> bool:
+        """True iff ``a <c b`` (strictly causally before)."""
+        ia, ib = self._idx.get(a), self._idx.get(b)
+        if ia is None or ib is None:
+            return False
+        return (self._reach[ia] >> ib) & 1 == 1
+
+    def leq(self, a: str, b: str) -> bool:
+        return a == b or self.lt(a, b)
+
+    def concurrent(self, a: str, b: str) -> bool:
+        return a != b and not self.lt(a, b) and not self.lt(b, a)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        out = []
+        for i, a in enumerate(self.nodes):
+            row = self._reach[i]
+            while row:
+                low = row & -row
+                out.append((a, self.nodes[low.bit_length() - 1]))
+                row ^= low
+        return out
+
+
+class _Derived:
+    """The cached derived indices of one history prefix.
+
+    ``token`` is the append token — the tuple of record identities the
+    cache covers.  A history whose current token *extends* the cached
+    one is consumed incrementally (each new record is indexed in
+    ``O(|record|)`` plus the causal-closure delta); any other change
+    triggers a full rebuild.
+    """
+
+    __slots__ = (
+        "token",
+        "by_txid",
+        "writer_index",
+        "writers_by_object",
+        "per_client",
+        "last_of_client",
+        "rf_by_reader",
+        "readers_index",
+        "pending_reads",
+        "order",
+        "order_error",
+        "realtime",
+    )
+
+    def __init__(self) -> None:
+        self.token: Tuple[int, ...] = ()
+        self.by_txid: Dict[str, TxnRecord] = {}
+        self.writer_index: Dict[Tuple[ObjectId, Value], TxnRecord] = {}
+        self.writers_by_object: Dict[ObjectId, List[TxnRecord]] = {}
+        self.per_client: Dict[str, List[TxnRecord]] = {}
+        self.last_of_client: Dict[str, TxnRecord] = {}
+        #: reader txid -> {obj: writer txid} in the reader's reads order
+        self.rf_by_reader: Dict[str, Dict[ObjectId, str]] = {}
+        #: (obj, value) -> readers of that exact version, in record order
+        self.readers_index: Dict[Tuple[ObjectId, Value], List[TxnRecord]] = {}
+        #: non-⊥ reads whose writer has not been seen (yet)
+        self.pending_reads: Dict[Tuple[ObjectId, Value], List[TxnRecord]] = {}
+        self.order: Optional[CausalOrder] = None
+        self.order_error: Optional[ValueError] = None
+        self.realtime: Optional[List[Tuple[str, str]]] = None
+
+    # -- consuming records ---------------------------------------------------
+
+    def consume(self, rec: TxnRecord) -> None:
+        """Index one appended record and extend the causal closure."""
+        self.by_txid[rec.txid] = rec
+        client_recs = self.per_client.setdefault(rec.client, [])
+        # program order = stable sort by invoked_at (ties keep record
+        # order), so appending is the in-order case
+        in_order = not client_recs or client_recs[-1].invoked_at <= rec.invoked_at
+        prev = self.last_of_client.get(rec.client)
+        if in_order:
+            client_recs.append(rec)
+            self.last_of_client[rec.client] = rec
+        else:
+            keys = [r.invoked_at for r in client_recs]
+            client_recs.insert(bisect_right(keys, rec.invoked_at), rec)
+            # mid-projection insert: existing program-order edges change,
+            # which the closed order cannot express — rebuild on demand
+            self.order = None
+            self.last_of_client[rec.client] = client_recs[-1]
+        edges: List[Tuple[str, str]] = []
+        if in_order and prev is not None:
+            edges.append((prev.txid, rec.txid))
+        rf = self.rf_by_reader.setdefault(rec.txid, {})
+        for obj, val in rec.reads.items():
+            if val is BOTTOM:
+                continue
+            key = (obj, val)
+            w = self.writer_index.get(key)
+            if w is not None:
+                if w.txid != rec.txid:
+                    rf[obj] = w.txid
+                    edges.append((w.txid, rec.txid))
+                self.readers_index.setdefault(key, []).append(rec)
+            else:
+                self.pending_reads.setdefault(key, []).append(rec)
+        for obj, val in rec.txn.writes:
+            key = (obj, val)
+            self.writer_index[key] = rec
+            self.writers_by_object.setdefault(obj, []).append(rec)
+            # a late writer: readers that observed this version before
+            # its writer committed now get their reads-from edge
+            for reader in self.pending_reads.pop(key, ()):  # noqa: B909
+                if reader.txid != rec.txid:
+                    self.rf_by_reader[reader.txid][obj] = rec.txid
+                    edges.append((rec.txid, reader.txid))
+                self.readers_index.setdefault(key, []).append(reader)
+        if self.order is not None and self.order_error is None:
+            try:
+                self.order.add_node(rec.txid)
+                self.order.extend(edges)
+            except ValueError as exc:
+                self.order_error = exc
+
+    def reads_from(self) -> List[Tuple[str, str]]:
+        """Reads-from edges in the batch order (reader by reader)."""
+        out: List[Tuple[str, str]] = []
+        for reader_txid, by_obj in self.rf_by_reader.items():
+            rec = self.by_txid[reader_txid]
+            for obj in rec.reads:
+                w = by_obj.get(obj)
+                if w is not None:
+                    out.append((w, reader_txid))
+        return out
+
+    def program_order(self) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for c in sorted(self.per_client):
+            recs = self.per_client[c]
+            for a, b in zip(recs, recs[1:]):
+                out.append((a.txid, b.txid))
+        return out
 
 
 @dataclass
@@ -38,7 +325,7 @@ class History:
         return iter(self.records)
 
     def clients(self) -> Tuple[str, ...]:
-        return tuple(sorted({r.client for r in self.records}))
+        return tuple(sorted(self._derived().per_client))
 
     def objects(self) -> Tuple[ObjectId, ...]:
         objs: Set[ObjectId] = set()
@@ -46,14 +333,46 @@ class History:
             objs |= set(r.txn.objects)
         return tuple(sorted(objs))
 
+    def append(self, record: TxnRecord) -> None:
+        """Append one completed record (the incremental-friendly path)."""
+        self.records.append(record)
+
+    # -- the derived-index cache -------------------------------------------
+
+    def _derived(self) -> _Derived:
+        """Validate or (re)build the cached derived indices.
+
+        The append token is the tuple of record identities; an unchanged
+        token reuses the cache as-is, a strict extension consumes only
+        the new records, anything else rebuilds from scratch.
+        """
+        token = tuple(map(id, self.records))
+        cache: Optional[_Derived] = self.__dict__.get("_cache")
+        if cache is not None and cache.token == token:
+            return cache
+        if (
+            cache is not None
+            and len(token) > len(cache.token)
+            and token[: len(cache.token)] == cache.token
+        ):
+            for rec in self.records[len(cache.token):]:
+                cache.consume(rec)
+            cache.token = token
+            cache.realtime = None
+            return cache
+        cache = _Derived()
+        for rec in self.records:
+            cache.consume(rec)
+        cache.token = token
+        self.__dict__["_cache"] = cache
+        return cache
+
     def per_client(self, client: str) -> List[TxnRecord]:
         """``H_c``: this client's records in program order."""
-        recs = [r for r in self.records if r.client == client]
-        recs.sort(key=lambda r: r.invoked_at)
-        return recs
+        return list(self._derived().per_client.get(client, ()))
 
     def by_txid(self) -> Dict[str, TxnRecord]:
-        return {r.txid: r for r in self.records}
+        return self._derived().by_txid
 
     # -- derived relations ---------------------------------------------------
 
@@ -71,112 +390,72 @@ class History:
                 seen[key] = r.txid
 
     def writer_index(self) -> Dict[Tuple[ObjectId, Value], TxnRecord]:
-        """Map (object, value) → the record that wrote it."""
-        idx: Dict[Tuple[ObjectId, Value], TxnRecord] = {}
-        for r in self.records:
-            for obj, val in r.txn.writes:
-                idx[(obj, val)] = r
-        return idx
+        """Map (object, value) → the record that wrote it.  Cached; treat
+        as read-only."""
+        return self._derived().writer_index
+
+    def writers_by_object(self) -> Dict[ObjectId, List[TxnRecord]]:
+        """Map object → its writers in record order.  Cached; read-only."""
+        return self._derived().writers_by_object
+
+    def readers_index(self) -> Dict[Tuple[ObjectId, Value], List[TxnRecord]]:
+        """Map (object, value) → records that read exactly that version."""
+        return self._derived().readers_index
 
     def program_order(self) -> List[Tuple[str, str]]:
         """Immediate program-order edges ``(earlier_txid, later_txid)``."""
-        edges: List[Tuple[str, str]] = []
-        for c in self.clients():
-            recs = self.per_client(c)
-            for a, b in zip(recs, recs[1:]):
-                edges.append((a.txid, b.txid))
-        return edges
+        return self._derived().program_order()
 
     def reads_from(self) -> List[Tuple[str, str]]:
         """Reads-from edges ``(writer_txid, reader_txid)``.
 
         Reads returning ⊥/unknown values produce no edge.
         """
-        writers = self.writer_index()
-        edges: List[Tuple[str, str]] = []
-        for r in self.records:
-            for obj, val in r.reads.items():
-                if val is BOTTOM:
-                    continue
-                w = writers.get((obj, val))
-                if w is not None and w.txid != r.txid:
-                    edges.append((w.txid, r.txid))
-        return edges
+        return self._derived().reads_from()
 
     def causal_order(self) -> "CausalOrder":
-        """The causal relation: transitive closure of program order ∪ reads-from."""
-        return CausalOrder.from_edges(
-            [r.txid for r in self.records],
-            self.program_order() + self.reads_from(),
-        )
+        """The causal relation: transitive closure of program order ∪ reads-from.
+
+        Cached and extended in place as the history grows; a cycle keeps
+        raising :class:`ValueError` on every call, like the batch build.
+        """
+        cache = self._derived()
+        if cache.order_error is not None:
+            raise cache.order_error
+        if cache.order is None:
+            cache.order = CausalOrder.from_edges(
+                [r.txid for r in self.records],
+                cache.program_order() + cache.reads_from(),
+            )
+        return cache.order
 
     def realtime_edges(self) -> List[Tuple[str, str]]:
-        """Precedence: ``T1`` completes before ``T2`` is invoked."""
-        edges = []
-        for a in self.records:
-            for b in self.records:
-                if a.txid != b.txid and a.completed_at < b.invoked_at:
-                    edges.append((a.txid, b.txid))
+        """Precedence: ``T1`` completes before ``T2`` is invoked.
+
+        Sort-and-sweep instead of the quadratic double loop: walk the
+        records in invocation order, maintaining the prefix of records
+        already completed before the current invocation.  The pair
+        *output* can still be Θ(n²) (it is the relation itself), but the
+        scan does no work for unrelated pairs.
+        """
+        cache = self._derived()
+        if cache.realtime is not None:
+            return cache.realtime
+        by_invoked = sorted(self.records, key=lambda r: r.invoked_at)
+        by_completed = sorted(self.records, key=lambda r: r.completed_at)
+        edges: List[Tuple[str, str]] = []
+        done: List[TxnRecord] = []  # completed before the current invocation
+        i = 0
+        n = len(by_completed)
+        for b in by_invoked:
+            while i < n and by_completed[i].completed_at < b.invoked_at:
+                done.append(by_completed[i])
+                i += 1
+            # a record cannot complete before its own invocation, so b
+            # itself is never in `done`
+            edges.extend((a.txid, b.txid) for a in done)
+        cache.realtime = edges
         return edges
-
-
-class CausalOrder:
-    """A strict partial order on transaction ids with fast ``<`` queries."""
-
-    def __init__(self, nodes: Iterable[str]):
-        self.nodes: Tuple[str, ...] = tuple(nodes)
-        self._idx = {n: i for i, n in enumerate(self.nodes)}
-        n = len(self.nodes)
-        self._reach: List[Set[int]] = [set() for _ in range(n)]
-
-    @classmethod
-    def from_edges(
-        cls, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]
-    ) -> "CausalOrder":
-        order = cls(nodes)
-        succ: Dict[int, Set[int]] = defaultdict(set)
-        for a, b in edges:
-            if a in order._idx and b in order._idx and a != b:
-                succ[order._idx[a]].add(order._idx[b])
-        # transitive closure by reverse-postorder DFS with memoization;
-        # cycles (which would indicate a corrupted history) are rejected.
-        color = [0] * len(order.nodes)  # 0 white, 1 grey, 2 black
-
-        def dfs(u: int) -> None:
-            color[u] = 1
-            for v in succ.get(u, ()):  # noqa: B023
-                if color[v] == 1:
-                    raise ValueError("cycle in causal order (corrupted history)")
-                if color[v] == 0:
-                    dfs(v)
-                order._reach[u].add(v)
-                order._reach[u] |= order._reach[v]
-            color[u] = 2
-
-        for u in range(len(order.nodes)):
-            if color[u] == 0:
-                dfs(u)
-        return order
-
-    def lt(self, a: str, b: str) -> bool:
-        """True iff ``a <c b`` (strictly causally before)."""
-        ia, ib = self._idx.get(a), self._idx.get(b)
-        if ia is None or ib is None:
-            return False
-        return ib in self._reach[ia]
-
-    def leq(self, a: str, b: str) -> bool:
-        return a == b or self.lt(a, b)
-
-    def concurrent(self, a: str, b: str) -> bool:
-        return a != b and not self.lt(a, b) and not self.lt(b, a)
-
-    def edges(self) -> List[Tuple[str, str]]:
-        out = []
-        for i, a in enumerate(self.nodes):
-            for j in self._reach[i]:
-                out.append((a, self.nodes[j]))
-        return out
 
 
 def build_history(sim, clients: Optional[Iterable[str]] = None) -> History:
@@ -195,3 +474,28 @@ def build_history(sim, clients: Optional[Iterable[str]] = None) -> History:
         hist.active.extend(proc.pending)
     hist.records.sort(key=lambda r: (r.invoked_at, r.txid))
     return hist
+
+
+def committed_deltas(
+    sim, clients: Iterable[str], consumed: Mapping[str, int]
+) -> Tuple[Dict[str, int], List[TxnRecord]]:
+    """The committed-record delta since ``consumed``.
+
+    ``consumed`` maps client pid → how many of its committed records the
+    caller has already seen; the return value is the updated map plus
+    the new records, in the given client order (at most one client gains
+    records per simulation event, so the cross-client order is
+    immaterial to the checkers).  This is what lets the exploration
+    engine feed its incremental checkers without re-extracting the full
+    history at every node (see :func:`build_history`).
+    """
+    updated: Dict[str, int] = dict(consumed)
+    fresh: List[TxnRecord] = []
+    for pid in clients:
+        proc = sim.processes[pid]
+        done = proc.completed
+        k = updated.get(pid, 0)
+        if len(done) > k:
+            fresh.extend(done[k:])
+            updated[pid] = len(done)
+    return updated, fresh
