@@ -1,0 +1,129 @@
+"""The delta-snapshot acceptance gate: component bytes vs the monolith.
+
+Runs the two seed write/read-race scenarios (FastClaim, which violates;
+COPS, which verifies) at full plain-DFS scope under both byte-snapshot
+implementations — ``snapshot_mode="bytes"`` (component-granular delta
+snapshots, the default) and ``"blob"`` (the monolithic single-blob path
+this PR replaced) — in one process, and asserts two things:
+
+* **Identity.** The two modes are the same search: identical verdicts,
+  state counts, dedup counts, violating schedules (bit for bit, so the
+  first violation is too) and anomaly unions.  Fingerprints hash live
+  state, not snapshot encoding, so the partition cannot legally differ;
+  this asserts it empirically on every full run.
+* **The ≥ 5x gate.** Total serialization traffic
+  (``bytes_serialized + bytes_restored``) on the delta path is at least
+  5x lower than the blob path's — both against the in-process blob run
+  (same machine, same scope) and against the PR-4 baselines recorded in
+  ``BENCH_explore.json`` before the rework.
+
+The whole grid lands in ``benchmarks/results/BENCH_delta.json`` (a CI
+artifact, so the traffic trajectory stays observable across PRs).
+"""
+
+import time
+
+from bench_explore import save_json
+from repro.core.explore import explore_write_read_race
+from repro.sim.executor import use_snapshot_mode
+
+#: (protocol, full-scope depth, expects violation)
+SCENARIOS = [
+    ("fastclaim", 18, True),
+    ("cops", 22, False),
+]
+
+#: plain-DFS ``bytes_serialized + bytes_restored`` at the scopes above,
+#: as recorded in BENCH_explore.json *before* the delta rework (PR 4) —
+#: the fixed reference the acceptance gate is phrased against
+PR4_TRAFFIC = {
+    "fastclaim": 272_782_096 + 287_631_281,
+    "cops": 147_971_733 + 161_314_707,
+}
+
+#: the acceptance gate: delta traffic must undercut the blob path 5x
+GATE = 5.0
+
+
+def _traffic(counters) -> int:
+    return counters.bytes_serialized + counters.bytes_restored
+
+
+def _identity_key(result):
+    return dict(
+        violation_found=result.violation_found,
+        states_visited=result.states_visited,
+        states_deduped=result.states_deduped,
+        schedules_completed=result.schedules_completed,
+        truncated=result.truncated,
+        schedules=sorted(tuple(s) for s, _ in result.violations),
+        anomaly_union=sorted(
+            {str(a) for _, anomalies in result.violations for a in anomalies}
+        ),
+    )
+
+
+def test_delta_traffic_gate(benchmark):
+    report = {"gate": GATE, "scenarios": []}
+
+    def run():
+        for proto, depth, expect_violation in SCENARIOS:
+            entry = {"protocol": proto, "max_depth": depth, "modes": {}}
+            keys = {}
+            for mode in ("bytes", "blob"):
+                t0 = time.perf_counter()
+                with use_snapshot_mode(mode):
+                    r = explore_write_read_race(
+                        proto,
+                        max_depth=depth,
+                        max_states=80_000,
+                        first_violation_only=False,
+                    )
+                dt = time.perf_counter() - t0
+                assert r.violation_found == expect_violation, (proto, mode)
+                assert r.truncated == 0 and not r.exhausted, (proto, mode)
+                keys[mode] = _identity_key(r)
+                entry["modes"][mode] = {
+                    "seconds": round(dt, 2),
+                    "traffic_bytes": _traffic(r.counters),
+                    "counters": r.counters.as_dict(),
+                    **{
+                        k: v
+                        for k, v in keys[mode].items()
+                        if k != "schedules"  # big; identity asserted below
+                    },
+                }
+            # identity: same search, bit for bit
+            assert keys["bytes"] == keys["blob"], proto
+            entry["identical"] = True
+            entry["speedup_vs_blob"] = round(
+                entry["modes"]["blob"]["seconds"]
+                / max(entry["modes"]["bytes"]["seconds"], 1e-9),
+                2,
+            )
+            delta = entry["modes"]["bytes"]["traffic_bytes"]
+            entry["traffic_ratio_vs_blob"] = round(
+                entry["modes"]["blob"]["traffic_bytes"] / delta, 1
+            )
+            entry["traffic_ratio_vs_pr4"] = round(
+                PR4_TRAFFIC[proto] / delta, 1
+            )
+            report["scenarios"].append(entry)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for entry in report["scenarios"]:
+        # the acceptance gate, against both references
+        assert entry["traffic_ratio_vs_blob"] >= GATE, entry
+        assert entry["traffic_ratio_vs_pr4"] >= GATE, entry
+        print(
+            f"{entry['protocol']}: delta traffic "
+            f"{entry['modes']['bytes']['traffic_bytes']:,} bytes — "
+            f"{entry['traffic_ratio_vs_blob']}x under blob, "
+            f"{entry['traffic_ratio_vs_pr4']}x under the PR-4 baseline, "
+            f"{entry['speedup_vs_blob']}x wall-clock"
+        )
+    save_json("BENCH_delta", report)
+    benchmark.extra_info["traffic_ratio"] = [
+        (e["protocol"], e["traffic_ratio_vs_blob"])
+        for e in report["scenarios"]
+    ]

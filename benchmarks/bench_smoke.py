@@ -40,10 +40,12 @@ BASELINES = {
         dict(states_visited=128, states_deduped=50,
              schedules_completed=4, violations=1, truncated=0),
     ),
+    # the POR-reduced scope is tiny, so the workers=2 request auto-serials
+    # (serial probe) and must reproduce the workers=1 counts exactly
     "fastclaim dfs+por+w2": (
         "fastclaim",
         dict(max_depth=30, max_states=60_000, por=True, workers=2),
-        dict(states_visited=133, states_deduped=57,
+        dict(states_visited=128, states_deduped=50,
              schedules_completed=4, violations=1, truncated=0),
     ),
     "fastclaim dfs+por exhaustive": (
@@ -81,14 +83,59 @@ def fork_machinery_smoke() -> bool:
         sched.tick(sim, pids=(tsys.cw,) + tuple(tsys.servers))
     snap = sim.snapshot()
     fp = sim.fingerprint(snap)
-    ok = snap.fork().blob is snap.blob  # O(1) fork: shares the blob
-    snap2 = sim.snapshot()  # unchanged state: cached serialization
-    ok &= snap2.blob is snap.blob and sim.counters.bytes_reused > 0
+    fork = snap.fork()  # O(1) fork: shares the per-component captures
+    ok = fork.proc_blobs is snap.proc_blobs and fork.net_state is snap.net_state
+    snap2 = sim.snapshot()  # unchanged state: every sub-blob is cached
+    ok &= all(
+        b2 is b1
+        for (_, b1), (_, b2) in zip(snap.proc_blobs, snap2.proc_blobs)
+    )
+    ok &= snap2.net_state is snap.net_state
+    ok &= sim.counters.bytes_reused > 0
     for _ in range(6):
         sched.tick(sim, pids=(tsys.cw,) + tuple(tsys.servers))
     sim.restore(snap)
     ok &= sim.fingerprint() == fp and sim.counters.bytes_restored > 0
     print(("ok  " if ok else "FAIL") + f" fork machinery: {sim.counters.describe()}")
+    return ok
+
+
+def delta_blob_identity_smoke() -> bool:
+    """The delta snapshot path against the monolithic blob path.
+
+    Same search under ``snapshot_mode="bytes"`` and ``"blob"``: the
+    state partition (fingerprints) must be identical, so every count,
+    every violating schedule and the anomaly union must match exactly.
+    ``benchmarks/bench_delta.py`` runs the same comparison at full scope
+    with the ≥ 5x traffic gate; this is the one-second version.
+    """
+    from repro.sim.executor import use_snapshot_mode
+
+    kwargs = dict(
+        max_depth=30, max_states=60_000, por=True,
+        first_violation_only=False,
+    )
+    runs = {}
+    for mode in ("bytes", "blob"):
+        with use_snapshot_mode(mode):
+            r = explore_write_read_race("fastclaim", **kwargs)
+        runs[mode] = dict(
+            states_visited=r.states_visited,
+            states_deduped=r.states_deduped,
+            schedules_completed=r.schedules_completed,
+            schedules=sorted(tuple(s) for s, _ in r.violations),
+            anomalies=sorted(
+                {str(a) for _, anomalies in r.violations for a in anomalies}
+            ),
+        )
+    ok = runs["bytes"] == runs["blob"]
+    print(
+        ("ok  " if ok else "FAIL")
+        + f" delta==blob identity: {runs['bytes']['states_visited']} states, "
+        f"{len(runs['bytes']['schedules'])} violating schedules"
+    )
+    if not ok:
+        print(f"     bytes: {runs['bytes']}\n     blob:  {runs['blob']}")
     return ok
 
 
@@ -138,6 +185,7 @@ EXPECT_CHECKS = 5_395
 def main() -> int:
     failures = 0
     failures += not fork_machinery_smoke()
+    failures += not delta_blob_identity_smoke()
     failures += not checker_smoke()
     for label, (proto, kwargs, expect) in BASELINES.items():
         t0 = time.perf_counter()

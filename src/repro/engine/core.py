@@ -102,6 +102,10 @@ class ExplorationResult(SearchOutcome):
     strategy: str = "dfs"
     por: bool = False
     workers: int = 1
+    #: a ``workers > 1`` request answered serially because the fan-out
+    #: could not pay for itself (tiny scope or too few subtree roots —
+    #: see :mod:`repro.engine.parallel`)
+    auto_serial: bool = False
     #: leaves whose history was given a verdict
     checks: int = 0
     #: wall-clock spent in checker work (delta consumption + verdicts for
@@ -122,6 +126,8 @@ class ExplorationResult(SearchOutcome):
         knobs = self.strategy + ("+por" if self.por else "")
         if self.workers > 1:
             knobs += f"+workers={self.workers}"
+            if self.auto_serial:
+                knobs += "(auto-serial)"
         head = (
             f"{self.protocol} [{knobs}]: explored {self.states_visited} states "
             f"({self.states_deduped} deduped), "

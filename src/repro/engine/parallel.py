@@ -25,6 +25,26 @@ configuration reachable from two roots is expanded once per root:
 ``states_visited`` may exceed the serial count (the dedup that the
 serial run performed across subtrees is reported per worker).  The
 state budget likewise applies per worker.
+
+Two guards keep the fan-out from costing more than it saves:
+
+* **Root dedup** — before shipping, roots are deduped by *canonical*
+  fingerprint (with the same sleep-subset rule as the seen-set).  The
+  seeding walk already prunes duplicates under the engine's own
+  fingerprint, but without POR that fingerprint is the strict
+  (``msg_id``-covering) one, so roots reached by different prefixes of
+  commuting events look distinct even though their subtrees check the
+  same histories — each shipped copy would be explored once *per root*.
+  A dropped root is counted in ``states_deduped``, exactly as the
+  serial canonical quotient would have counted it.
+* **Auto-serial fallback** — a ``workers > 1`` request is answered
+  serially (``result.auto_serial``) when the fan-out cannot pay for
+  pool spin-up: a deterministic serial probe capped at
+  :data:`SERIAL_PROBE_STATES` settles trivially small scopes outright,
+  and a seeding walk that finds fewer than ``workers + 1`` roots falls
+  back to one full serial search.  Both produce the serial result *by
+  construction* (they are serial runs), so verdicts, counts and
+  first-violation traces match ``workers=1`` bit for bit.
 """
 
 from __future__ import annotations
@@ -32,7 +52,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 from dataclasses import replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.core import ExplorationResult, SerialSearch, resolve_checker
 from repro.sim.executor import SimCounters, Simulation
@@ -43,6 +63,12 @@ ROOTS_PER_WORKER = 4
 
 #: never seed deeper than this: each extra level multiplies seeding work
 MAX_CUTOFF = 10
+
+#: the auto-serial probe budget: a scope that a serial search finishes
+#: within this many states is cheaper to answer serially than to ship to
+#: a pool (process spin-up alone dwarfs the work).  Set to 0 to disable
+#: the probe (tests use this to force the pool path).
+SERIAL_PROBE_STATES = 4_096
 
 
 def _mp_context():
@@ -123,6 +149,48 @@ def run_parallel(
     root_snap = sim.snapshot()
     target = max(workers * ROOTS_PER_WORKER, workers + 1)
 
+    def _serial(budget: int) -> SerialSearch:
+        """One fresh full serial search from the root (auto-serial paths)."""
+        sim.restore(root_snap)
+        partial = ExplorationResult(
+            protocol=result.protocol,
+            strategy=strategy,
+            por=por,
+            workers=workers,
+        )
+        s = SerialSearch(
+            sim,
+            pids,
+            clients,
+            partial,
+            spec,
+            max_depth,
+            budget,
+            first_violation_only,
+            por,
+            rng_seed=rng_seed,
+            incremental=incremental,
+            oracle=oracle,
+        )
+        s.run(strategy, depth=0)
+        return s
+
+    # a cheap deterministic probe: tiny scopes are answered serially
+    # outright — pool spin-up alone costs more than exploring a few
+    # thousand states on the delta-restore path.  The probe IS the
+    # serial run (same strategy, same seeds), so returning its result
+    # matches ``workers=1`` bit for bit.
+    if SERIAL_PROBE_STATES > 0:
+        probe = _serial(min(max_states, SERIAL_PROBE_STATES))
+        if probe.abort or not probe.exhausted or SERIAL_PROBE_STATES >= max_states:
+            # settled: first violation found, scope finished within the
+            # probe budget, or the probe budget already was the caller's
+            _finalize(result, probe.result, probe, sim)
+            result.auto_serial = True
+            return result
+        # scope outlives the probe: discard its counts (the pool recounts
+        # from scratch; only SimCounters byte totals keep accumulating)
+
     # grow the cutoff until the frontier is wide enough to balance the
     # pool; each pass restarts from the root (shallow passes are cheap)
     roots = []
@@ -165,6 +233,16 @@ def run_parallel(
         # cutoff): the parent's serial prefix is the complete answer
         _finalize(result, partial, search, sim)
         return result
+
+    if len(roots) < workers + 1:
+        # not enough subtrees to keep the pool busy: one serial run is
+        # cheaper than spinning up workers that would mostly idle
+        fallback = _serial(max_states)
+        _finalize(result, fallback.result, fallback, sim)
+        result.auto_serial = True
+        return result
+
+    roots = _dedup_roots(sim, roots, por, partial)
 
     payloads = [
         pickle.dumps(
@@ -212,6 +290,42 @@ def run_parallel(
     search.exhausted = exhausted
     _finalize(result, partial, search, sim)
     return result
+
+
+def _dedup_roots(
+    sim: Simulation,
+    roots: List,
+    por: bool,
+    partial: ExplorationResult,
+) -> List:
+    """Drop frontier roots whose subtree another shipped root covers.
+
+    Keyed on the *canonical* fingerprint: with POR the seeding walk's
+    own fingerprint is already canonical, so ``node.fingerprint`` is
+    reused; without POR it is the strict (``msg_id``-covering) one, so
+    the canonical print is recomputed per root (one delta restore each —
+    cheap).  A later root is dropped iff an earlier kept root has the
+    same canonical print and slept on a subset of the later one's sleep
+    set (it explores at least as much); earlier wins so the DFS-preorder
+    first-violation guarantee is untouched.  Drops are counted in
+    ``states_deduped``, exactly as the serial canonical quotient counts
+    the revisit it corresponds to.
+    """
+    kept: List = []
+    seen: Dict[bytes, List] = {}
+    for node in roots:
+        if por:
+            fp = node.fingerprint
+        else:
+            sim.restore(node.snapshot)
+            fp = sim.fingerprint(node.snapshot, canonical=True)
+        prior = seen.get(fp)
+        if prior is not None and any(s <= node.sleep for s in prior):
+            partial.states_deduped += 1
+            continue
+        seen.setdefault(fp, []).append(node.sleep)
+        kept.append(node)
+    return kept
 
 
 def _finalize(

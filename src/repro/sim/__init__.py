@@ -23,8 +23,10 @@ from repro.sim.messages import Message, Payload
 from repro.sim.process import Process, StepContext
 from repro.sim.network import Network
 from repro.sim.executor import (
+    SNAPSHOT_MODES,
     Simulation,
     Configuration,
+    BlobConfiguration,
     DeepCopyConfiguration,
     SimCounters,
     use_snapshot_mode,
@@ -52,8 +54,10 @@ __all__ = [
     "Process",
     "StepContext",
     "Network",
+    "SNAPSHOT_MODES",
     "Simulation",
     "Configuration",
+    "BlobConfiguration",
     "DeepCopyConfiguration",
     "SimCounters",
     "use_snapshot_mode",

@@ -19,6 +19,7 @@ import copy
 import hashlib
 import io
 import pickle
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -51,13 +52,24 @@ class SimCounters:
     bytes_serialized: int = 0   #: bytes actually pickled for snapshots
     bytes_reused: int = 0       #: snapshot bytes served from the dirty cache
     bytes_restored: int = 0     #: bytes deserialized by restores
-    restore_reuses: int = 0     #: components restore() kept alive unchanged
+    restore_reuses: int = 0     #: restores that kept every live component
+    #: per-component accounting (delta snapshots): sub-blobs pickled by
+    #: snapshot(), sub-blobs deserialized by restore(), and live
+    #: components a delta restore() kept untouched because their bytes
+    #: already matched the snapshot.
+    components_serialized: int = 0
+    components_restored: int = 0
+    components_reused: int = 0
 
     def describe(self) -> str:
         total = self.bytes_serialized + self.bytes_reused
         pct = 100.0 * self.bytes_reused / total if total else 0.0
         return (
-            f"{self.snapshots} snapshots, {self.restores} restores, "
+            f"{self.snapshots} snapshots "
+            f"({self.components_serialized} components pickled), "
+            f"{self.restores} restores "
+            f"({self.components_restored} components loaded / "
+            f"{self.components_reused} kept), "
             f"{self.fingerprints} fingerprints; serialization cache "
             f"{self.cache_hits} hits / {self.cache_misses} misses "
             f"({pct:.0f}% of {total} snapshot bytes reused)"
@@ -72,56 +84,131 @@ class SimCounters:
             setattr(self, key, getattr(self, key) + value)
 
 
+def _net_capture(net: Network):
+    """Snapshot a network as an immutable structural tuple — zero bytes.
+
+    The network's mutable state is pure *placement*: which
+    :class:`~repro.sim.messages.Message` sits in which in-transit queue
+    or income buffer, plus the per-link send counters.  The messages
+    themselves are immutable once sent (the model's "links do not modify
+    messages", enforced by lint rule RL404, whose contract already
+    shares payloads by reference with the trace) — so a snapshot needs
+    no serialization at all: capture the container *shapes* in immutable
+    tuples and hold the message objects by reference.  Restoring
+    (:func:`_net_build`) rebuilds fresh containers around the same
+    messages, which satisfies the Configuration ownership rule the same
+    way ``copy.deepcopy`` does when it returns immutables by identity.
+    """
+    return (
+        net.pids,
+        tuple((link, tuple(q)) for link, q in net.in_transit.items()),
+        tuple(net.link_counts.items()),
+        tuple((pid, tuple(v)) for pid, v in net.income.items()),
+    )
+
+
+def _net_build(state) -> Network:
+    """Materialize a private :class:`Network` from a structural capture.
+
+    Containers are rebuilt fresh (mutating the result never touches the
+    capture or any other materialization); the immutable messages are
+    shared by reference.
+    """
+    pids, transit, counts, income = state
+    net = Network.__new__(Network)
+    net.pids = pids
+    net.in_transit = {link: deque(q) for link, q in transit}
+    net.link_counts = dict(counts)
+    net.income = {pid: list(v) for pid, v in income}
+    net._version = 0
+    return net
+
+
 class Configuration:
-    """An opaque bytes-snapshot of a simulation's state (a configuration).
+    """A component-granular delta snapshot of a configuration.
 
-    One pickle blob holding the full process map *and* the network,
-    serialized together.  Serializing everything in a single pass matters
-    beyond speed: the pickle memo then spans the whole configuration, so
-    an object referenced both from a process and from an in-flight
-    message — a payload a client still holds, an interned object id
-    string appearing in a transaction and in a reply — deserializes to
-    *one* object again, exactly the identity structure ``copy.deepcopy``
-    preserved (deep copies keep immutables by identity; a per-component
-    pair of blobs would silently split them and perturb the exploration
-    engine's sharing-sensitive fingerprints).
+    One immutable pickle sub-blob per :class:`Process` plus one
+    structural capture of the :class:`Network`, each produced (and
+    cached) against the component's ``_version`` dirty counter.
+    Components that did not change between two snapshots share the
+    *same* object by reference, which is what makes
+    :meth:`Simulation.restore` a **delta apply**: a live component whose
+    cached capture *is* the snapshot's is provably in the snapshotted
+    state already and is kept as-is; only the components that actually
+    differ are re-materialized.  A DFS backtrack after a single ``Step``
+    therefore touches one process, not eleven.
 
-    **Ownership rule:** a Configuration may be restored any number of
-    times, and restoring must never alias live simulation state.  The
-    bytes representation makes that free — the blob is immutable, and
-    every :meth:`Simulation.restore` materializes fresh objects with
-    ``pickle.loads`` — so no defensive copy is needed on either side of
-    the snapshot/restore pair (the old implementation deep copied once at
-    ``snapshot()`` *and again* at ``restore()``).
+    The network's capture (:func:`_net_capture`) costs no serialization
+    in either direction: its mutable state is message *placement*, and
+    the placed messages are immutable once sent (lint rule RL404), so
+    snapshots hold them by reference inside immutable tuples and
+    restores rebuild fresh containers around them.  The process
+    sub-blobs stay pickled bytes — process state is arbitrary mutable
+    protocol data, so only a byte-level copy isolates branches.
 
-    :meth:`fork` exists for the rare caller that wants an explicitly
-    independent handle on the same state (e.g. to stash a branch point in
-    a long-lived structure); for bytes snapshots it shares the immutable
-    blob, so it is O(1).
+    Splitting the snapshot per component gives up the single pickle
+    memo of the old monolithic blob (kept as :class:`BlobConfiguration`,
+    ``snapshot_mode="blob"``): an object referenced from two processes
+    deserializes to two equal copies instead of one shared object.  That
+    is safe here because nothing in the system is sharing-sensitive —
+    messages are immutable, and fingerprints serialize by *value*
+    (identity-blind fast-mode pickle, :meth:`Simulation._dumps_canonical`),
+    so the state partition and every verdict are unchanged.
+    ``snapshot_mode="deepcopy"`` remains the bit-identical oracle.
+
+    **Ownership rule (unchanged):** a Configuration may be restored any
+    number of times, and restoring must never hand out mutable state
+    aliased with the snapshot.  Sub-blobs are immutable bytes and the
+    network capture is immutable tuples over immutable messages; a
+    restored component is either a fresh materialization or a live
+    component whose capture already equals the snapshot's — mutating it
+    afterwards bumps its dirty counter, so later snapshots and restores
+    see the divergence.
+
+    :meth:`fork` shares the (immutable) captures, so it stays O(1).
     """
 
-    __slots__ = ("blob", "msg_counter", "event_count", "fp_dumps", "fp_dumps_canon")
+    __slots__ = (
+        "proc_blobs",
+        "net_state",
+        "msg_counter",
+        "event_count",
+        "fp_dumps",
+        "fp_dumps_canon",
+    )
 
-    def __init__(self, blob: bytes, msg_counter: int, event_count: int):
-        self.blob = blob
+    def __init__(
+        self,
+        proc_blobs: Tuple[Tuple[ProcessId, bytes], ...],
+        net_state,
+        msg_counter: int,
+        event_count: int,
+    ):
+        #: per-process sub-blobs, in the process map's insertion order
+        #: (restore rebuilds the map in exactly this order)
+        self.proc_blobs = proc_blobs
+        #: the network's structural capture (see :func:`_net_capture`)
+        self.net_state = net_state
         self.msg_counter = msg_counter
         self.event_count = event_count
-        #: per-process fingerprint dumps for exactly this blob's state,
-        #: attached by :meth:`Simulation.fingerprint` so a later restore
-        #: can re-prime the fingerprint cache (restored branches then only
-        #: re-serialize the processes an event actually touched).  The
-        #: second slot holds the trace-canonical variant (masked
-        #: ``fp_state``), attached by ``fingerprint(canonical=True)``.
+        #: per-process fingerprint dumps for exactly this snapshot's
+        #: state, attached by :meth:`Simulation.fingerprint` so a later
+        #: restore can re-prime the fingerprint cache (restored branches
+        #: then only re-serialize the processes an event actually
+        #: touched).  The second slot holds the trace-canonical variant
+        #: (masked ``fp_state``), attached by ``fingerprint(canonical=True)``.
         self.fp_dumps: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
         self.fp_dumps_canon: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
 
     def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
-        """Deserialize a private (processes, network) pair.
+        """Materialize a private (processes, network) pair.
 
-        Each call deserializes afresh; mutating the result never touches
-        the snapshot.
+        Each call materializes afresh; mutating the result never touches
+        the snapshot (the network's containers are rebuilt, its messages
+        are shared but immutable).
         """
-        return pickle.loads(self.blob)
+        procs = {pid: pickle.loads(blob) for pid, blob in self.proc_blobs}
+        return procs, _net_build(self.net_state)
 
     @property
     def processes(self) -> Dict[ProcessId, Process]:
@@ -135,11 +222,64 @@ class Configuration:
 
     def fork(self) -> "Configuration":
         forked = Configuration(
-            blob=self.blob,
+            proc_blobs=self.proc_blobs,  # immutable: share, don't copy
+            net_state=self.net_state,
             msg_counter=self.msg_counter,
             event_count=self.event_count,
         )
         forked.fp_dumps = self.fp_dumps  # immutable too: share, don't copy
+        forked.fp_dumps_canon = self.fp_dumps_canon
+        return forked
+
+    def size_bytes(self) -> int:
+        """Serialized bytes held: the process sub-blobs.
+
+        The network capture holds no serialized bytes at all (structural
+        tuples over shared immutable messages), so it contributes zero.
+        """
+        return sum(len(b) for _, b in self.proc_blobs)
+
+
+class BlobConfiguration:
+    """The monolithic single-blob snapshot (the pre-delta fast path).
+
+    One pickle blob holding the full process map *and* the network,
+    serialized together in a single pass, so the pickle memo spans the
+    whole configuration and cross-component object sharing survives a
+    restore.  Kept as ``snapshot_mode="blob"`` so the delta rework stays
+    measurable in-process (``benchmarks/bench_delta.py`` asserts the
+    ≥ 5x serialization-traffic drop against exactly this path) and as a
+    second reference implementation beside the deep-copy oracle.
+    """
+
+    __slots__ = ("blob", "msg_counter", "event_count", "fp_dumps", "fp_dumps_canon")
+
+    def __init__(self, blob: bytes, msg_counter: int, event_count: int):
+        self.blob = blob
+        self.msg_counter = msg_counter
+        self.event_count = event_count
+        self.fp_dumps: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
+        self.fp_dumps_canon: Optional[Tuple[Tuple[ProcessId, bytes], ...]] = None
+
+    def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
+        """Deserialize a private (processes, network) pair."""
+        return pickle.loads(self.blob)
+
+    @property
+    def processes(self) -> Dict[ProcessId, Process]:
+        return self.materialize()[0]
+
+    @property
+    def network(self) -> Network:
+        return self.materialize()[1]
+
+    def fork(self) -> "BlobConfiguration":
+        forked = BlobConfiguration(
+            blob=self.blob,
+            msg_counter=self.msg_counter,
+            event_count=self.event_count,
+        )
+        forked.fp_dumps = self.fp_dumps
         forked.fp_dumps_canon = self.fp_dumps_canon
         return forked
 
@@ -175,13 +315,19 @@ class DeepCopyConfiguration:
         return len(pickle.dumps((self.processes, self.network), PICKLE_PROTOCOL))
 
 
+#: the three snapshot implementations: "bytes" (component-granular delta
+#: snapshots, the default), "blob" (the monolithic single-blob fast path
+#: kept as the perf baseline), "deepcopy" (the reference oracle).
+SNAPSHOT_MODES = ("bytes", "blob", "deepcopy")
+
+
 @contextmanager
 def use_snapshot_mode(mode: str):
-    """Force every new snapshot into ``mode`` ("bytes" or "deepcopy").
+    """Force every new snapshot into one of :data:`SNAPSHOT_MODES`.
 
     Benchmark/test helper; flips the class-level default and restores it.
     """
-    if mode not in ("bytes", "deepcopy"):
+    if mode not in SNAPSHOT_MODES:
         raise ValueError(f"unknown snapshot mode {mode!r}")
     old = Simulation.snapshot_mode
     Simulation.snapshot_mode = mode
@@ -242,11 +388,41 @@ def _canonize(obj: Any) -> Any:
     return (_ObjMark, t.__module__, t.__qualname__, _canonize(obj.__getstate__()))
 
 
+class _CompRow:
+    """One component's dirty-tracked serializations, all in one place.
+
+    A row is valid while the live component *is* ``obj`` at dirty
+    version ``version``; every mutation of the component goes through
+    an event (which bumps the counter), so validity is two identity/int
+    comparisons.  The row carries every capture the snapshot and
+    fingerprint machinery ever needs for that component — the restorable
+    snapshot capture plus the two value-canonical fingerprint dumps —
+    filled lazily, so no state is ever serialized twice for the same
+    (object, version) pair and a restore re-primes all three in one go.
+    """
+
+    __slots__ = ("obj", "version", "blob", "fp", "fp_canon")
+
+    def __init__(self, obj: Any, version: int):
+        self.obj = obj
+        self.version = version
+        #: the restorable snapshot capture: ``pickle.dumps(obj)`` for a
+        #: process row, the structural :func:`_net_capture` tuple for
+        #: the network row
+        self.blob: Optional[Any] = None
+        self.fp: Optional[bytes] = None        #: canonical dump of __getstate__
+        self.fp_canon: Optional[bytes] = None  #: canonical dump of fp_state()
+
+
+#: cache key for the network's component row (process rows key on pid)
+_NET = "\x00network"
+
+
 class Simulation:
     """A running instance of the system."""
 
-    #: "bytes" (the fast pickle-blob path) or "deepcopy" (the reference
-    #: implementation); class attribute, overridable per instance.
+    #: one of :data:`SNAPSHOT_MODES`; class attribute, overridable per
+    #: instance.  "bytes" is the component-granular delta path.
     snapshot_mode = "bytes"
 
     def __init__(self, processes: Sequence[Process]):
@@ -261,23 +437,19 @@ class Simulation:
         self._msg_counter = 0
         self.event_count = 0
         self.counters = SimCounters()
-        # dirty-tracked serialization caches.  An entry is valid while the
-        # live container objects are identical (``is``) and the aggregate
-        # dirty key is unchanged — then the blob is their exact current
-        # serialization.  The whole configuration is cached as one
-        # combined blob (see Configuration: the memo must span processes
-        # and network); the key is the tuple of per-process dirty
-        # counters plus the network's.
+        # per-component dirty-tracked serialization rows (snapshot
+        # sub-blob + fingerprint dumps), keyed by pid / _NET; see
+        # _CompRow.  Rows hold the component strongly, so object ids
+        # cannot be recycled into false hits.
+        self._comp_rows: Dict[str, _CompRow] = {}
+        # the monolithic-blob cache, used by snapshot_mode="blob" only.
+        # An entry is valid while the live container objects are
+        # identical (``is``) and the aggregate dirty key (per-process
+        # dirty counters plus the network's) is unchanged — then the
+        # blob is their exact current serialization.
         self._config_cache: Optional[
             Tuple[Dict, Network, Tuple[int, ...], int, bytes]
         ] = None
-        # per-process canonical fingerprint dumps, keyed by pid; an entry
-        # (proc, version, bytes) is valid while the live process *is* that
-        # object at that dirty version.  Held strongly, so object ids
-        # cannot be recycled into false hits.
-        self._proc_fp_cache: Dict[ProcessId, Tuple[Process, int, bytes]] = {}
-        # same shape, for the trace-canonical (masked fp_state) dumps
-        self._proc_fp_cache_canon: Dict[ProcessId, Tuple[Process, int, bytes]] = {}
 
     # -- configuration management -----------------------------------------
 
@@ -286,7 +458,46 @@ class Simulation:
             getattr(p, "_version", 0) for p in self.processes.values()
         )
 
+    def _row(self, key: str, obj: Any) -> _CompRow:
+        """The component's cache row, invalidated on identity/version drift."""
+        version = getattr(obj, "_version", 0)
+        row = self._comp_rows.get(key)
+        if row is None or row.obj is not obj or row.version != version:
+            row = _CompRow(obj, version)
+            self._comp_rows[key] = row
+        return row
+
+    def _comp_blob(self, row: _CompRow) -> bytes:
+        """The component's snapshot sub-blob, serialized at most once."""
+        blob = row.blob
+        if blob is None:
+            blob = row.blob = pickle.dumps(row.obj, PICKLE_PROTOCOL)
+            self.counters.cache_misses += 1
+            self.counters.components_serialized += 1
+            self.counters.bytes_serialized += len(blob)
+        else:
+            self.counters.cache_hits += 1
+            self.counters.bytes_reused += len(blob)
+        return blob
+
+    def _net_snapshot_state(self):
+        """The network's structural capture, built at most once per version.
+
+        Contributes zero to the byte ledger: :func:`_net_capture` holds
+        the (immutable) messages by reference and serializes nothing.
+        """
+        row = self._row(_NET, self.network)
+        state = row.blob
+        if state is None:
+            state = row.blob = _net_capture(self.network)
+            self.counters.cache_misses += 1
+            self.counters.components_serialized += 1
+        else:
+            self.counters.cache_hits += 1
+        return state
+
     def _config_blob(self) -> bytes:
+        """The monolithic combined blob (snapshot_mode="blob" only)."""
         procs = self.processes
         net = self.network
         versions = self._proc_versions()
@@ -308,14 +519,17 @@ class Simulation:
         self.counters.bytes_serialized += len(blob)
         return blob
 
-    def snapshot(self) -> "Configuration":
+    def snapshot(self):
         """Capture the current configuration.
 
-        In the default ``"bytes"`` mode the snapshot is one pickle blob
-        (protocol 5) covering the process map and the network together.
-        If the dirty counters are unchanged since the last serialization
-        the cached bytes are reused — back-to-back snapshots with no
-        intervening event are near-free.
+        In the default ``"bytes"`` mode the snapshot is one pickle
+        sub-blob (protocol 5) per process plus one zero-copy structural
+        capture of the network, each served from the per-component dirty
+        cache: after one event, only the touched components are
+        captured, every clean capture is shared by reference with the
+        previous snapshot.  ``"blob"`` serializes the whole
+        configuration as one combined blob (the pre-delta path);
+        ``"deepcopy"`` deep copies the live objects.
         """
         self.counters.snapshots += 1
         if self.snapshot_mode == "deepcopy":
@@ -325,8 +539,18 @@ class Simulation:
                 msg_counter=self._msg_counter,
                 event_count=self.event_count,
             )
+        if self.snapshot_mode == "blob":
+            return BlobConfiguration(
+                blob=self._config_blob(),
+                msg_counter=self._msg_counter,
+                event_count=self.event_count,
+            )
         return Configuration(
-            blob=self._config_blob(),
+            proc_blobs=tuple(
+                (pid, self._comp_blob(self._row(pid, proc)))
+                for pid, proc in self.processes.items()
+            ),
+            net_state=self._net_snapshot_state(),
             msg_counter=self._msg_counter,
             event_count=self.event_count,
         )
@@ -336,26 +560,99 @@ class Simulation:
 
         A configuration may be restored any number of times; restoring
         never aliases live state (the :class:`Configuration` ownership
-        rule).  Bytes snapshots get this for free — each restore
-        deserializes fresh objects — so no defensive copy is made; as a
-        further shortcut, a component whose live objects still match the
-        snapshot blob (per the dirty cache) is kept as-is.  Deep-copy
-        snapshots must still fork once to stay private.
+        rule).  Bytes snapshots get this for free — restored components
+        are materialized fresh from immutable sub-blobs — so no
+        defensive copy is made.  Component-granular snapshots restore as
+        a **delta apply**: a live component whose cached serialization
+        *is* the snapshot's sub-blob (same object, same dirty version,
+        same bytes object) is already in the snapshotted state and is
+        kept; only the components that differ are re-deserialized.
+        Deep-copy snapshots must still fork once to stay private.
 
         The trace and the command log are observational and are *not*
         rewound; use their ``mark``/cursor mechanisms to slice branches.
         """
         self.counters.restores += 1
-        if not isinstance(config, Configuration):
+        if isinstance(config, Configuration):
+            self._restore_delta(config)
+        elif isinstance(config, BlobConfiguration):
+            self._restore_blob(config)
+        else:
             forked = config.fork()
             self.processes = forked.processes
             self.network = forked.network
-            self._msg_counter = forked.msg_counter
-            self.event_count = forked.event_count
             self._config_cache = None
-            self._proc_fp_cache = {}
-            self._proc_fp_cache_canon = {}
-            return
+            self._comp_rows = {}
+        self._msg_counter = config.msg_counter
+        self.event_count = config.event_count
+
+    def _restore_delta(self, config: Configuration) -> None:
+        """Apply only the components that differ from the snapshot."""
+        counters = self.counters
+        fp_map = dict(config.fp_dumps) if config.fp_dumps is not None else None
+        fpc_map = (
+            dict(config.fp_dumps_canon)
+            if config.fp_dumps_canon is not None
+            else None
+        )
+        rows = self._comp_rows
+        new_procs: Dict[ProcessId, Process] = {}
+        changed = 0
+        for pid, blob in config.proc_blobs:
+            live = self.processes.get(pid)
+            row = rows.get(pid)
+            if (
+                row is not None
+                and live is not None
+                and row.obj is live
+                and row.version == getattr(live, "_version", 0)
+                and row.blob is blob
+            ):
+                # the live process's exact serialization *is* this
+                # sub-blob: it already equals the snapshot, keep it
+                counters.components_reused += 1
+                proc = live
+            else:
+                proc = pickle.loads(blob)
+                row = _CompRow(proc, 0)
+                row.blob = blob
+                rows[pid] = row
+                counters.components_restored += 1
+                counters.bytes_restored += len(blob)
+                changed += 1
+            # re-prime the fingerprint dumps: the row's state is exactly
+            # what the snapshot's attached dumps were computed from, so
+            # a branch off this restore only re-serializes what it
+            # touches
+            if row.fp is None and fp_map is not None:
+                row.fp = fp_map.get(pid)
+            if row.fp_canon is None and fpc_map is not None:
+                row.fp_canon = fpc_map.get(pid)
+            new_procs[pid] = proc
+        net = self.network
+        row = rows.get(_NET)
+        if (
+            row is not None
+            and row.obj is net
+            and row.version == getattr(net, "_version", 0)
+            and row.blob is config.net_state
+        ):
+            counters.components_reused += 1
+        else:
+            net = _net_build(config.net_state)
+            row = _CompRow(net, 0)
+            row.blob = config.net_state
+            rows[_NET] = row
+            counters.components_restored += 1
+            self.network = net
+            changed += 1
+        if changed == 0:
+            counters.restore_reuses += 1
+        if changed or len(new_procs) != len(self.processes):
+            self.processes = new_procs
+
+    def _restore_blob(self, config: "BlobConfiguration") -> None:
+        """Restore from a monolithic blob (snapshot_mode="blob")."""
         entry = self._config_cache
         if (
             entry is not None
@@ -368,35 +665,27 @@ class Simulation:
             # the live configuration's exact serialization *is* this
             # blob: the state already equals the snapshot, keep it
             self.counters.restore_reuses += 1
-        else:
-            self.processes, self.network = pickle.loads(config.blob)
-            self._config_cache = (
-                self.processes,
-                self.network,
-                self._proc_versions(),
-                getattr(self.network, "_version", 0),
-                config.blob,
-            )
-            self.counters.bytes_restored += len(config.blob)
-            # re-prime the fingerprint cache: the materialized processes
-            # are exactly the state those dumps were computed from, so a
-            # branch off this restore only re-serializes what it touches
-            if config.fp_dumps is not None:
-                self._proc_fp_cache = {
-                    pid: (self.processes[pid], 0, dump)
-                    for pid, dump in config.fp_dumps
-                }
-            else:
-                self._proc_fp_cache = {}
-            if config.fp_dumps_canon is not None:
-                self._proc_fp_cache_canon = {
-                    pid: (self.processes[pid], 0, dump)
-                    for pid, dump in config.fp_dumps_canon
-                }
-            else:
-                self._proc_fp_cache_canon = {}
-        self._msg_counter = config.msg_counter
-        self.event_count = config.event_count
+            return
+        self.processes, self.network = pickle.loads(config.blob)
+        self._config_cache = (
+            self.processes,
+            self.network,
+            self._proc_versions(),
+            getattr(self.network, "_version", 0),
+            config.blob,
+        )
+        self.counters.bytes_restored += len(config.blob)
+        # re-prime the fingerprint rows from the snapshot's attached dumps
+        self._comp_rows = {}
+        for attr, dumps in (
+            ("fp", config.fp_dumps),
+            ("fp_canon", config.fp_dumps_canon),
+        ):
+            if dumps is None:
+                continue
+            for pid, dump in dumps:
+                row = self._row(pid, self.processes[pid])
+                setattr(row, attr, dump)
 
     def _structural_message_ids(self):
         """The network's message placement, structurally (for fingerprints).
@@ -522,29 +811,69 @@ class Simulation:
         data the process never branches on (a client's event-counter
         stamps) is masked out of the trace-canonical fingerprint.
 
-        Dumps are cached per process on (object identity, dirty
-        counter): every process mutation goes through ``step``/``invoke``
-        (which bump the counter), and :meth:`restore` re-primes the cache
-        from the snapshot's attached dumps — so a fingerprint after
-        restore-plus-one-event re-serializes at most the one process the
-        event touched (none at all for a delivery).
+        Dumps live in the same per-component cache rows as the snapshot
+        sub-blobs (see :class:`_CompRow`), keyed on (object identity,
+        dirty counter): every process mutation goes through
+        ``step``/``invoke`` (which bump the counter), and :meth:`restore`
+        re-primes the rows from the snapshot's attached dumps — so a
+        fingerprint after restore-plus-one-event re-serializes at most
+        the one process the event touched (none at all for a delivery).
         """
-        cache = self._proc_fp_cache_canon if canonical else self._proc_fp_cache
+        attr = "fp_canon" if canonical else "fp"
         out: List[Tuple[ProcessId, bytes]] = []
         for pid in sorted(self.processes):
             proc = self.processes[pid]
-            version = getattr(proc, "_version", 0)
-            entry = cache.get(pid)
-            if entry is not None and entry[0] is proc and entry[1] == version:
+            row = self._row(pid, proc)
+            dump = getattr(row, attr)
+            if dump is not None:
                 self.counters.cache_hits += 1
-                dump = entry[2]
             else:
                 state = proc.fp_state() if canonical else proc.__getstate__()
                 dump = self._dumps_canonical(state)
-                cache[pid] = (proc, version, dump)
+                setattr(row, attr, dump)
                 self.counters.cache_misses += 1
             out.append((pid, dump))
         return out
+
+    def _describes_live(self, config) -> bool:
+        """Whether ``config`` is verifiably a snapshot of the live state.
+
+        True only when every component's cached serialization *is* the
+        snapshot's sub-blob (delta snapshots) or the combined blob cache
+        entry *is* the snapshot's blob (monolithic snapshots) — i.e. the
+        check is identity-based and never re-serializes anything.
+        """
+        if isinstance(config, BlobConfiguration):
+            entry = self._config_cache
+            return (
+                entry is not None
+                and entry[0] is self.processes
+                and entry[1] is self.network
+                and entry[2] == self._proc_versions()
+                and entry[3] == getattr(self.network, "_version", 0)
+                and entry[4] is config.blob
+            )
+        if len(config.proc_blobs) != len(self.processes):
+            return False
+        rows = self._comp_rows
+        for pid, blob in config.proc_blobs:
+            live = self.processes.get(pid)
+            row = rows.get(pid)
+            if (
+                live is None
+                or row is None
+                or row.obj is not live
+                or row.version != getattr(live, "_version", 0)
+                or row.blob is not blob
+            ):
+                return False
+        row = rows.get(_NET)
+        return (
+            row is not None
+            and row.obj is self.network
+            and row.version == getattr(self.network, "_version", 0)
+            and row.blob is config.net_state
+        )
 
     def fingerprint(
         self,
@@ -580,17 +909,12 @@ class Simulation:
         self.counters.fingerprints += 1
         dumps = self._proc_fp_dumps(canonical)
         attach_slot = "fp_dumps_canon" if canonical else "fp_dumps"
-        if isinstance(config, Configuration) and getattr(config, attach_slot) is None:
-            entry = self._config_cache
-            if (
-                entry is not None
-                and entry[0] is self.processes
-                and entry[1] is self.network
-                and entry[2] == self._proc_versions()
-                and entry[3] == getattr(self.network, "_version", 0)
-                and entry[4] is config.blob
-            ):
-                setattr(config, attach_slot, tuple(dumps))
+        if (
+            isinstance(config, (Configuration, BlobConfiguration))
+            and getattr(config, attach_slot) is None
+            and self._describes_live(config)
+        ):
+            setattr(config, attach_slot, tuple(dumps))
         if canonical:
             # the canonical structure embeds message payloads (arbitrary
             # values), so it needs the identity-independent serializer
@@ -617,10 +941,12 @@ class Simulation:
         ctx = StepContext(pid, neighbors, self.event_count)
         proc.on_step(ctx, inbox)
         proc.mark_dirty()
-        # conservative: a step may mutate payloads still referenced by the
-        # network (messages travel by reference), so its bytes may change
-        # even when no network mutator ran
-        self.network.mark_dirty()
+        # the network is NOT marked dirty here: its own mutators (post,
+        # deliver, drain_income) bump its version, and messages are
+        # immutable once sent (the model's "links do not modify
+        # messages", enforced by the RL4xx lint rules) — so a step that
+        # neither received nor sent leaves the network's serialization
+        # valid, and a delta restore after it touches one process only
         sent: List[Message] = []
         for dst, payload in ctx.sends:
             msg = Message(

@@ -119,6 +119,114 @@ def test_workers_bit_identical_first_violation():
     assert [str(a) for a in s_anoms] == [str(a) for a in f_anoms]
 
 
+def test_workers_auto_serial_on_tiny_scope():
+    """A tiny scope answers a ``workers=2`` request serially.
+
+    The POR-reduced fastclaim scope is ~128 states — far below the
+    serial probe budget — so the parallel wrapper must skip the pool and
+    return the serial result verbatim: same counts, same first
+    violation, flagged ``auto_serial``.
+    """
+    kw = dict(max_depth=30, max_states=60_000, por=True)
+    serial = explore_write_read_race("fastclaim", workers=1, **kw)
+    fanned = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert fanned.auto_serial and not serial.auto_serial
+    assert "(auto-serial)" in fanned.describe()
+    assert (
+        fanned.states_visited,
+        fanned.states_deduped,
+        fanned.schedules_completed,
+        fanned.truncated,
+    ) == (
+        serial.states_visited,
+        serial.states_deduped,
+        serial.schedules_completed,
+        serial.truncated,
+    )
+    assert fanned.violations == serial.violations
+
+
+def test_workers_pool_path_forced(monkeypatch):
+    """With the probe disabled the pool really runs — and still matches.
+
+    Guards the pool machinery itself now that small scopes normally
+    auto-serial: verdict, anomaly union and the bit-identical first
+    violation must survive the fan-out.
+    """
+    from repro.engine import parallel
+
+    monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+    kw = dict(max_depth=30, max_states=60_000, por=True)
+    serial = explore_write_read_race("fastclaim", workers=1, **kw)
+    fanned = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert not fanned.auto_serial
+    assert serial.violation_found and fanned.violation_found
+    assert fanned.violations[0] == serial.violations[0]
+
+
+def test_workers_root_dedup_without_por(monkeypatch):
+    """Non-POR frontier roots are deduped by canonical fingerprint.
+
+    Without POR the seeding walk keys on the strict fingerprint, so
+    roots reached by different orders of commuting events look distinct;
+    the pre-ship dedup must collapse them (fewer payloads) without
+    changing the verdict or the anomaly union, deterministically.
+    """
+    from repro.engine import parallel
+
+    monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+    shipped = {}
+    orig = parallel._dedup_roots
+
+    def spy(sim, roots, por, partial):
+        kept = orig(sim, roots, por, partial)
+        shipped["before"], shipped["after"] = len(roots), len(kept)
+        return kept
+
+    monkeypatch.setattr(parallel, "_dedup_roots", spy)
+    kw = dict(max_depth=10, max_states=60_000, first_violation_only=False)
+    serial = explore_write_read_race("fastclaim", workers=1, **kw)
+    fanned = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert not fanned.auto_serial
+    assert shipped["after"] < shipped["before"]  # dedup actually bites
+    assert fanned.violation_found == serial.violation_found
+    assert anomaly_union(fanned) == anomaly_union(serial)
+    again = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert (
+        fanned.states_visited,
+        fanned.states_deduped,
+        fanned.schedules_completed,
+    ) == (again.states_visited, again.states_deduped, again.schedules_completed)
+
+
+def test_dedup_roots_sleep_subset_rule():
+    """The dedup drop rule mirrors the seen-set's sleep-subset logic.
+
+    POR path is pure (uses ``node.fingerprint`` directly), so it unit
+    tests without a simulation: a later root falls only to an earlier
+    kept root with the same canonical print and a *subset* sleep set.
+    """
+    from types import SimpleNamespace
+
+    from repro.engine.parallel import _dedup_roots
+
+    def node(fp, sleep=()):
+        return SimpleNamespace(fingerprint=fp, sleep=frozenset(sleep))
+
+    partial = ExplorationResult(protocol="x", strategy="dfs", por=True)
+    roots = [
+        node(b"A", {1}),       # kept: first occurrence
+        node(b"A", {1, 2}),    # dropped: {1} <= {1, 2}
+        node(b"A", set()),     # kept: {} is not a superset of {1}
+        node(b"B"),            # kept: new print
+        node(b"A", {2, 3}),    # dropped: covered by the kept {} visit
+    ]
+    kept = _dedup_roots(None, roots, True, partial)
+    assert [n.fingerprint for n in kept] == [b"A", b"A", b"B"]
+    assert [set(n.sleep) for n in kept] == [{1}, set(), set()]
+    assert partial.states_deduped == 2
+
+
 def test_workers_merge_counters():
     r = explore_write_read_race(
         "cops", max_depth=26, max_states=60_000,

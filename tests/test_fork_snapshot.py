@@ -1,14 +1,15 @@
 """The fast-fork snapshot machinery: isolation, cost accounting, budgets.
 
-The bytes-snapshot rework (``Configuration`` as one immutable pickle
-blob) must preserve the old deep-copy contract exactly: a snapshot is
+The component-granular snapshot rework (``Configuration`` as one pickle
+sub-blob per process plus a structural network capture, restored as a
+delta) must preserve the old deep-copy contract exactly: a snapshot is
 isolated from every future mutation of the live simulation, a restore
-never aliases live state, and the exploration engine's fingerprints
-reproduce the same equivalence classes.  Every contract test here runs
-against both snapshot modes.
+never hands out mutable state aliased with the snapshot, and the
+exploration engine's fingerprints reproduce the same equivalence
+classes.  Every contract test here runs against all three snapshot
+modes — the delta path, the retained monolithic blob path, and the
+deep-copy oracle.
 """
-
-import pickle
 
 import pytest
 from hypothesis import given, settings
@@ -18,6 +19,7 @@ from repro.core.explore import explore_write_read_race
 from repro.sim.events import enabled_events
 from repro.core.setup import prepare_theorem_system
 from repro.sim.executor import (
+    BlobConfiguration,
     Configuration,
     DeepCopyConfiguration,
     SimCounters,
@@ -28,13 +30,23 @@ from repro.sim.scheduler import RoundRobinScheduler
 
 from helpers import Echo, Pinger
 
-MODES = ("bytes", "deepcopy")
+MODES = ("bytes", "blob", "deepcopy")
 
 
 def proc_states(sim):
-    """Pickled per-process protocol state (dirty counters excluded)."""
+    """Canonical per-process protocol state (dirty counters excluded).
+
+    Serialized with the identity-blind canonical dump, not a raw
+    ``pickle.dumps``: a raw pickle's memo encodes object-*sharing*
+    topology, which is not part of the semantic state (restoring a
+    snapshot materializes value-equal objects whose sharing may differ
+    from the originals — ``copy.deepcopy`` and ``pickle.loads`` already
+    disagree about it).  The canonical dump is exact on values, which is
+    the relation every verdict and fingerprint is defined over.
+    """
     return {
-        pid: pickle.dumps(p.__getstate__()) for pid, p in sim.processes.items()
+        pid: Simulation._dumps_canonical(p.__getstate__())
+        for pid, p in sim.processes.items()
     }
 
 
@@ -83,12 +95,13 @@ class TestSnapshotIsolation:
             sim.restore(snap)  # the snapshot must still be pristine
             assert proc_states(sim) == frozen
 
-    def test_materialized_views_are_private(self):
-        # bytes-mode only: a DeepCopyConfiguration hands out the held
-        # objects themselves (the old contract — restore forks, direct
-        # access aliases); the blob snapshot deserializes a private copy
-        # on every access
-        with use_snapshot_mode("bytes"):
+    @pytest.mark.parametrize("mode", ["bytes", "blob"])
+    def test_materialized_views_are_private(self, mode):
+        # serialized modes only: a DeepCopyConfiguration hands out the
+        # held objects themselves (the old contract — restore forks,
+        # direct access aliases); the serialized snapshots materialize a
+        # private copy on every access
+        with use_snapshot_mode(mode):
             tsys = prepare_theorem_system("wren")
             sim = tsys.sim
             sim.invoke(tsys.cw, tsys.tw())
@@ -102,14 +115,63 @@ class TestSnapshotIsolation:
             sim.restore(snap)
             assert proc_states(sim) == frozen
 
-    def test_fork_shares_immutable_blob(self):
+    def test_fork_shares_immutable_captures(self):
         tsys = prepare_theorem_system("wren")
         sim = tsys.sim
         snap = sim.snapshot()
         fork = snap.fork()
         assert isinstance(snap, Configuration)
-        assert fork.blob is snap.blob  # O(1): no bytes are copied
+        # O(1): the per-component captures are shared, not copied
+        assert fork.proc_blobs is snap.proc_blobs
+        assert fork.net_state is snap.net_state
         assert fork.size_bytes() == snap.size_bytes() > 0
+
+    def test_blob_mode_fork_shares_immutable_blob(self):
+        with use_snapshot_mode("blob"):
+            tsys = prepare_theorem_system("wren")
+            sim = tsys.sim
+            snap = sim.snapshot()
+            fork = snap.fork()
+            assert isinstance(snap, BlobConfiguration)
+            assert fork.blob is snap.blob  # O(1): no bytes are copied
+            assert fork.size_bytes() == snap.size_bytes() > 0
+
+    def test_consecutive_snapshots_share_clean_components(self):
+        # after one event, a new snapshot re-captures only the touched
+        # components; every clean sub-blob is the *same* object as the
+        # previous snapshot's
+        tsys = prepare_theorem_system("wren")
+        sim = tsys.sim
+        sim.invoke(tsys.cw, tsys.tw())
+        run_some(sim, tsys)
+        snap1 = sim.snapshot()
+        sim.step(tsys.cw)  # touches cw (and the network, via its sends)
+        snap2 = sim.snapshot()
+        blobs1, blobs2 = dict(snap1.proc_blobs), dict(snap2.proc_blobs)
+        assert blobs1.keys() == blobs2.keys()
+        shared = [pid for pid in blobs1 if blobs1[pid] is blobs2[pid]]
+        assert set(blobs1) - set(shared) == {tsys.cw}
+
+    def test_delta_restore_touches_only_changed_components(self):
+        # a backtrack after a single step re-materializes that process
+        # (plus the network when the step moved messages), keeping every
+        # other process object live
+        tsys = prepare_theorem_system("wren")
+        sim = tsys.sim
+        sim.invoke(tsys.cw, tsys.tw())
+        run_some(sim, tsys)
+        snap = sim.snapshot()
+        sim.fingerprint(snap)
+        before = {pid: p for pid, p in sim.processes.items()}
+        sim.step(tsys.cw)
+        base = sim.counters.components_restored
+        sim.restore(snap)
+        assert sim.counters.components_restored - base <= 2  # cw + network
+        for pid, p in sim.processes.items():
+            if pid == tsys.cw:
+                assert p is not before[pid]
+            else:
+                assert p is before[pid]
 
     def test_deepcopy_fork_is_independent(self):
         with use_snapshot_mode("deepcopy"):
@@ -142,7 +204,7 @@ class TestModeEquivalence:
                 r.truncated,
                 sorted(tuple(s) for s, _ in r.violations),
             )
-        assert results["bytes"] == results["deepcopy"]
+        assert results["bytes"] == results["deepcopy"] == results["blob"]
 
 
 # ---------------------------------------------------------------------------
@@ -188,6 +250,102 @@ class TestSimCounters:
         sim.restore(snap)
         assert sim.processes is not procs
         assert sim.counters.bytes_restored > 0
+
+    def test_byte_accumulation_arithmetic(self):
+        """The ledger's byte fields follow the component arithmetic.
+
+        A fresh snapshot pays exactly its own size in ``bytes_serialized``
+        (the network component is a zero-byte structural capture, so
+        ``size_bytes`` and the pickled process bytes coincide); a delta
+        restore pays ``bytes_restored`` only for the process sub-blobs it
+        actually reloads, and every component it touches lands in exactly
+        one of ``components_restored`` / ``components_reused``.
+        """
+        sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+        n_components = len(sim.processes) + 1  # + the network
+        snap = sim.snapshot()
+        c = sim.counters
+        assert c.bytes_serialized == snap.size_bytes()
+        assert c.components_serialized == c.cache_misses == n_components
+        sim.step("p")
+        before = c.as_dict()
+        sim.restore(snap)
+        assert c.restores == before["restores"] + 1
+        loaded = c.components_restored - before["components_restored"]
+        kept = c.components_reused - before["components_reused"]
+        assert loaded + kept == n_components
+        # the step dirtied exactly "p" and the network; "e" stays live
+        assert (loaded, kept) == (2, n_components - 2)
+        delta = c.bytes_restored - before["bytes_restored"]
+        assert delta == len(dict(snap.proc_blobs)["p"])
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_restore_reuse_consistency_across_modes(self, mode):
+        """``restore_reuses`` means zero byte traffic, in both byte modes.
+
+        The deepcopy oracle is deliberately naive — it always rebuilds,
+        so it must never claim a reuse (a reuse it *wrongly* claimed
+        would mask exactly the cache bugs the oracle exists to catch).
+        """
+        with use_snapshot_mode(mode):
+            sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+            snap = sim.snapshot()
+            before = sim.counters.as_dict()
+            sim.restore(snap)  # live state already matches the snapshot
+            c = sim.counters
+            expected_reuses = 0 if mode == "deepcopy" else 1
+            assert c.restore_reuses == before["restore_reuses"] + expected_reuses
+            assert c.bytes_restored == before["bytes_restored"]
+            sim.step("p")
+            sim.restore(snap)  # now a real restore: traffic resumes
+            assert (
+                c.restore_reuses == before["restore_reuses"] + expected_reuses
+            )
+            if mode != "deepcopy":  # deepcopy moves objects, not bytes
+                assert c.bytes_restored > before["bytes_restored"]
+
+    @pytest.mark.parametrize("mode", ["bytes", "blob"])
+    def test_snapshot_reuse_bytes_across_modes(self, mode):
+        """Back-to-back snapshots reuse serialization in both byte modes."""
+        with use_snapshot_mode(mode):
+            sim = Simulation([Pinger("p", "e", n=2), Echo("e")])
+            sim.snapshot()
+            before = sim.counters.as_dict()
+            sim.snapshot()
+            c = sim.counters
+            assert c.bytes_serialized == before["bytes_serialized"]
+            assert c.bytes_reused > before["bytes_reused"]
+            assert c.cache_hits > before["cache_hits"]
+
+    def test_merge_adds_every_field(self):
+        """merge() is plain fieldwise addition — including the component
+        fields, so worker ledgers survive the parallel merge intact."""
+        a = SimCounters(**{k: 2 * i + 1 for i, k in
+                           enumerate(SimCounters().as_dict())})
+        b = SimCounters(**{k: 10 * (i + 1) for i, k in
+                           enumerate(SimCounters().as_dict())})
+        expect = {k: a.as_dict()[k] + b.as_dict()[k] for k in a.as_dict()}
+        a.merge(b)
+        assert a.as_dict() == expect
+
+    def test_workers_counters_include_worker_traffic(self, monkeypatch):
+        """A pooled run's merged ledger carries the workers' restores."""
+        from repro.engine import parallel
+
+        monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+        serial = explore_write_read_race(
+            "fastclaim", max_depth=12, max_states=4_000, por=True,
+            first_violation_only=False,
+        )
+        fanned = explore_write_read_race(
+            "fastclaim", max_depth=12, max_states=4_000, por=True,
+            first_violation_only=False, workers=2,
+        )
+        assert not fanned.auto_serial
+        # the merged ledger covers seeding + every worker subtree: at
+        # least as many restores/snapshots as the serial run's whole walk
+        assert fanned.counters.restores >= serial.counters.restores
+        assert fanned.counters.snapshots >= serial.counters.snapshots
 
     def test_describe_and_as_dict(self):
         c = SimCounters(snapshots=3, restores=2, fingerprints=1,
