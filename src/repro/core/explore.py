@@ -40,6 +40,7 @@ def explore(
     rng_seed: int = 0,
     incremental: Optional[bool] = None,
     checker_oracle: bool = False,
+    per_worker_budget: bool = False,
 ) -> ExplorationResult:
     """Exhaustively explore every schedule of ``script`` on ``system``.
 
@@ -57,7 +58,9 @@ def explore(
     ``strategy``, ``por`` and ``workers`` forward to the engine:
     sleep-set partial-order reduction keeps one representative per
     Mazurkiewicz trace (identical verdicts, far fewer states), and
-    ``workers > 1`` fans subtree roots out to worker processes.
+    ``workers > 1`` runs the work-stealing frontier with a shared
+    fingerprint claim set.  ``max_states`` is a global pool-wide budget;
+    ``per_worker_budget=True`` restores the pre-stealing per-worker cap.
     DFS walks use the incremental delta checkers by default
     (``incremental=False`` forces the batch scan; ``checker_oracle=True``
     cross-checks every leaf against it).
@@ -77,6 +80,7 @@ def explore(
         rng_seed=rng_seed,
         incremental=incremental,
         checker_oracle=checker_oracle,
+        per_worker_budget=per_worker_budget,
     )
 
 
@@ -91,6 +95,7 @@ def explore_write_read_race(
     first_violation_only: bool = True,
     incremental: Optional[bool] = None,
     checker_oracle: bool = False,
+    per_worker_budget: bool = False,
     **params,
 ) -> ExplorationResult:
     """The canonical scenario: the theorem's write racing a fast ROT.
@@ -143,4 +148,5 @@ def explore_write_read_race(
         workers=workers,
         incremental=incremental,
         checker_oracle=checker_oracle,
+        per_worker_budget=per_worker_budget,
     )

@@ -76,6 +76,11 @@ class SearchNode:
     #: sleep set: events whose exploration from this node is already
     #: covered by a sibling branch (empty unless POR is on)
     sleep: FrozenSet[Event] = _EMPTY
+    #: global DFS-preorder ordinal: the index path through each
+    #: ancestor's explorable-children list (parallel merge key — the
+    #: lexicographically smallest violating key is the serial DFS's
+    #: first violation)
+    key: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -106,6 +111,13 @@ class ExplorationResult(SearchOutcome):
     #: could not pay for itself (tiny scope or too few subtree roots —
     #: see :mod:`repro.engine.parallel`)
     auto_serial: bool = False
+    #: parallel runs: subtree roots the seeding walk shipped to the pool
+    #: (the work-stealing deque's initial population)
+    roots_shipped: int = 0
+    #: parallel runs: states the whole pool deduped against the *shared*
+    #: fingerprint claim set (cross-worker dedup; worker-local seen-set
+    #: dedup stays inside ``states_deduped`` alongside it)
+    shared_seen_hits: int = 0
     #: leaves whose history was given a verdict
     checks: int = 0
     #: wall-clock spent in checker work (delta consumption + verdicts for
@@ -146,6 +158,14 @@ class ExplorationResult(SearchOutcome):
                 lines.append(f"  anomaly: {a.describe()}")
         if self.counters is not None:
             lines.append(f"  cost: {self.counters.describe()}")
+        if self.workers > 1 and not self.auto_serial and self.counters is not None:
+            c = self.counters
+            lines.append(
+                f"  steal: {self.roots_shipped} roots shipped, "
+                f"{c.publishes} published, {c.steals} stolen, "
+                f"{c.idle_waits} idle waits; shared seen-set "
+                f"{c.shared_seen_hits} hits / {c.shared_seen_inserts} inserts"
+            )
         return "\n".join(lines)
 
 
@@ -224,6 +244,8 @@ class SerialSearch:
         trail_prefix: Tuple[str, ...] = (),
         incremental: bool = False,
         oracle: bool = False,
+        ctx=None,
+        canonical_keys: bool = False,
     ):
         self.sim = sim
         self.pids = tuple(pids)
@@ -239,8 +261,31 @@ class SerialSearch:
         self.rng_seed = rng_seed
         #: labels prepended to violation schedules (parallel subtree roots)
         self.trail_prefix = trail_prefix
+        #: key the seen-set canonically even without POR (parallel mode,
+        #: POR-safe protocols only).  The strict fingerprint deliberately
+        #: excludes the event/message counters, so two strict-equal
+        #: states can still differ in *future fingerprint identity* —
+        #: under a cross-worker claim set that would make the explored
+        #: region depend on which worker claimed first.  The canonical
+        #: print is counter-blind *and* a bisimulation for POR-safe
+        #: protocols, so the claimed quotient is schedule-independent.
+        self.canonical_keys = canonical_keys
+        #: worker context for the work-stealing pool (None when serial):
+        #: duck-typed provider of the global state budget, the shared
+        #: fingerprint claim set, subtree publication and first-violation
+        #: pruning — see ``repro.engine.parallel.WorkerContext``
+        self.ctx = ctx
         self.abort = False      # first violation found: stop everything
         self.exhausted = False  # state budget spent: stop everything
+        # DFS-preorder ordinal of the current node: the index path taken
+        # through each ancestor's explorable-children list.  Prefixed by
+        # ctx.prefix (the task's own ordinal) it is a *global* preorder
+        # key — violations sort by it so the parallel merge can pick the
+        # serial DFS's first violation regardless of worker timing.
+        self._path: List[int] = []
+        #: per-violation global ordinal keys, parallel to the slice of
+        #: ``result.violations`` this search appended (parallel mode)
+        self.violation_keys: List[Tuple[int, ...]] = []
         # fingerprint -> sleep sets it was visited with.  A revisit is
         # skippable iff some previous visit slept on a *subset* of what
         # we would sleep on now (it explored at least as much).  Without
@@ -313,9 +358,14 @@ class SerialSearch:
 
         POR keys on the trace-canonical fingerprint so commuting
         interleavings merge; without POR the strict (msg_id-covering)
-        fingerprint keeps parity with the pre-engine explorer.
+        fingerprint keeps parity with the pre-engine explorer —
+        except under ``canonical_keys`` (parallel workers on POR-safe
+        protocols), where canonical keying keeps the cross-worker
+        claimed quotient deterministic.
         """
-        return self.sim.fingerprint(snap, canonical=self.por)
+        return self.sim.fingerprint(
+            snap, canonical=self.por or self.canonical_keys
+        )
 
     # -- seen-set ---------------------------------------------------------
 
@@ -337,6 +387,69 @@ class SerialSearch:
 
     def seen_states(self) -> int:
         return len(self._seen)
+
+    def universal_fingerprints(self):
+        """Fingerprints whose visits cover *every* later visit.
+
+        A visit with an empty sleep set explored every outgoing event,
+        so the sleep-subset rule (``prior ⊆ current``) covers any later
+        visit of the same fingerprint (``∅ ⊆ anything``).  These are
+        exactly the entries the parallel driver may publish into the
+        cross-worker claim set.  Without POR every visit qualifies.
+        """
+        if not self.por:
+            return list(self._seen)
+        return [fp for fp, priors in self._seen.items() if frozenset() in priors]
+
+    # -- budget ------------------------------------------------------------
+
+    def _count_state(self) -> bool:
+        """Count one expanded state against the budget; False = stop.
+
+        Serial searches keep the historical local semantics (count, then
+        exhaust when the count passes ``max_states``).  Under a worker
+        context with a *global* budget the state is counted only if the
+        shared counter grants it, so the pool's total ``states_visited``
+        can never exceed the requested cap no matter how many workers
+        run (the documented pre-stealing behaviour — N workers, N× the
+        cap — survives behind ``per_worker_budget=True``).
+        """
+        r = self.result
+        ctx = self.ctx
+        if ctx is not None and ctx.budget is not None:
+            if not ctx.budget.take():
+                self.exhausted = True
+                r.truncated += 1
+                return False
+            r.states_visited += 1
+            return True
+        r.states_visited += 1
+        if r.states_visited > self.max_states:
+            self.exhausted = True
+            r.truncated += 1
+            return False
+        return True
+
+    def _shared_covered(self, fp: bytes, sleep: FrozenSet[Event]) -> bool:
+        """Consult (and claim in) the cross-worker fingerprint set.
+
+        Only visits with an *empty* sleep set participate — their
+        coverage is universal under the sleep-subset rule, so a hit is
+        sound for any later visitor; a non-empty-sleep visit neither
+        claims nor trusts the shared set and falls back to the local
+        sleep-aware seen dict (see docs/model.md).  A losing claim is a
+        cross-worker dedup; a winning claim makes this worker the one
+        expander of the fingerprint.
+        """
+        ctx = self.ctx
+        if ctx is None or ctx.seen is None or sleep:
+            return False
+        c = self.sim.counters
+        if ctx.seen.claim(fp):
+            c.shared_seen_inserts += 1
+            return False
+        c.shared_seen_hits += 1
+        return True
 
     # -- leaves -----------------------------------------------------------
 
@@ -365,7 +478,13 @@ class SerialSearch:
         if anomalies:
             labels = list(self.trail_prefix) + [e.label for e in self._trail]
             r.violations.append((labels, anomalies))
+            if self.ctx is not None:
+                key = self.ctx.prefix + tuple(self._path)
+                self.violation_keys.append(key)
+                self.ctx.report_violation(key)
             if self.first_violation_only:
+                # within one task DFS preorder *is* key order, so the
+                # first violation found is the task's minimal one
                 self.abort = True
 
     def _child_sleep(
@@ -387,12 +506,14 @@ class SerialSearch:
         self, depth: int, sleep: FrozenSet[Event], fresh: Sequence
     ) -> None:
         r = self.result
+        ctx = self.ctx
+        if ctx is not None and ctx.pruned(self._path):
+            # a violation with a smaller global ordinal already exists:
+            # nothing below this node can beat it (keys only grow here)
+            return
         events = enabled_events(self.sim, self.pids)
         if not events:
-            r.states_visited += 1
-            if r.states_visited > self.max_states:
-                self.exhausted = True
-                r.truncated += 1
+            if not self._count_state():
                 return
             if clients_done(self.sim, self.clients):
                 if fresh:
@@ -408,11 +529,14 @@ class SerialSearch:
         if self._covered(fp, sleep):
             r.states_deduped += 1
             return
+        if self._shared_covered(fp, sleep):
+            # another worker owns this fingerprint; remember it locally
+            # so later intra-worker revisits dedup without the lock
+            r.states_deduped += 1
+            self._remember(fp, sleep)
+            return
         self._remember(fp, sleep)
-        r.states_visited += 1
-        if r.states_visited > self.max_states:
-            self.exhausted = True
-            r.truncated += 1
+        if not self._count_state():
             return
         if depth >= self.max_depth:
             r.truncated += 1
@@ -428,8 +552,34 @@ class SerialSearch:
         prior: List[Event] = []
         for i, e in enumerate(explorable):
             child_sleep = self._child_sleep(sleep, prior, e)
+            if (
+                ctx is not None
+                and i > 0
+                and depth + 1 < self.max_depth
+                and ctx.want_publish(depth + 1)
+            ):
+                # the deque is hungry: ship this child subtree (snapshot
+                # + trail + depth + sleep + global ordinal) back to the
+                # pool instead of exploring it here — a later sibling of
+                # work in progress, so local progress is never blocked.
+                # Not counted: the worker that expands it counts it.
+                e.apply(self.sim)
+                self._trail.append(e)
+                ctx.publish(
+                    self.sim.snapshot(),
+                    depth + 1,
+                    child_sleep,
+                    self.trail_prefix
+                    + tuple(ev.label for ev in self._trail),
+                    ctx.prefix + tuple(self._path) + (i,),
+                )
+                self._trail.pop()
+                self.sim.restore(snap)
+                prior.append(e)
+                continue
             e.apply(self.sim)
             self._trail.append(e)
+            self._path.append(i)
             # collect in lockstep with apply; rollback in lockstep with
             # restore — backtracking reuses the parent's checker state
             # instead of recomputing it.  None on non-commit edges.
@@ -443,6 +593,7 @@ class SerialSearch:
             self._dfs(depth + 1, child_sleep, ck[1] if ck else ())
             if ck is not None:
                 self._delta_rollback(ck[0])
+            self._path.pop()
             self._trail.pop()
             self.sim.restore(snap)
             prior.append(e)
@@ -478,10 +629,7 @@ class SerialSearch:
         r = self.result
         events = enabled_events(self.sim, self.pids)
         if not events:
-            r.states_visited += 1
-            if r.states_visited > self.max_states:
-                self.exhausted = True
-                r.truncated += 1
+            if not self._count_state():
                 return
             if clients_done(self.sim, self.clients):
                 if fresh:
@@ -498,13 +646,15 @@ class SerialSearch:
             # the seeding walk is pruned exactly as the serial DFS would)
             # but not counted — its worker counts it on entry.
             self._remember(fp, sleep)
-            roots.append(SearchNode(snap, fp, tuple(self._trail), depth, sleep))
+            roots.append(
+                SearchNode(
+                    snap, fp, tuple(self._trail), depth, sleep,
+                    key=tuple(self._path),
+                )
+            )
             return
         self._remember(fp, sleep)
-        r.states_visited += 1
-        if r.states_visited > self.max_states:
-            self.exhausted = True
-            r.truncated += 1
+        if not self._count_state():
             return
         if fresh:
             self._delta_consume(fresh)
@@ -516,6 +666,7 @@ class SerialSearch:
             child_sleep = self._child_sleep(sleep, prior, e)
             e.apply(self.sim)
             self._trail.append(e)
+            self._path.append(i)
             ck = (
                 self._delta_collect(e.pid)
                 if self.incremental
@@ -526,6 +677,7 @@ class SerialSearch:
             self._seed(cutoff, depth + 1, child_sleep, roots, ck[1] if ck else ())
             if ck is not None:
                 self._delta_rollback(ck[0])
+            self._path.pop()
             self._trail.pop()
             self.sim.restore(snap)
             prior.append(e)
@@ -557,10 +709,8 @@ class SerialSearch:
             node = frontier.popleft()
             sim.restore(node.snapshot)
             events = enabled_events(sim, self.pids)
-            r.states_visited += 1
-            if r.states_visited > self.max_states:
-                self.exhausted = True
-                r.truncated += 1 + len(frontier)
+            if not self._count_state():
+                r.truncated += len(frontier)
                 return
             if not events:
                 if clients_done(sim, self.clients):
@@ -583,7 +733,9 @@ class SerialSearch:
                 e.apply(sim)
                 child_snap = sim.snapshot()
                 child_fp = self._fingerprint(child_snap)
-                if self._covered(child_fp, child_sleep):
+                if self._covered(child_fp, child_sleep) or self._shared_covered(
+                    child_fp, child_sleep
+                ):
                     r.states_deduped += 1
                 else:
                     self._remember(child_fp, child_sleep)
@@ -668,15 +820,20 @@ def run(
     rng_seed: int = 0,
     incremental: Optional[bool] = None,
     checker_oracle: bool = False,
+    per_worker_budget: bool = False,
 ) -> ExplorationResult:
     """Explore every schedule of ``system``'s current configuration.
 
     The caller has already invoked the scenario's transactions; the
     engine enumerates adversary schedules from here.  ``strategy`` is
     one of ``"dfs"`` / ``"bfs"`` / ``"random"``; ``por=True`` switches on
-    sleep-set partial-order reduction; ``workers > 1`` fans subtree
-    roots out to worker processes (see :mod:`repro.engine.parallel`; the
-    state budget then applies per worker).
+    sleep-set partial-order reduction; ``workers > 1`` runs the
+    work-stealing frontier (see :mod:`repro.engine.parallel`).
+    ``max_states`` is a *global* budget — the pool's total
+    ``states_visited`` never exceeds it regardless of ``workers``;
+    ``per_worker_budget=True`` restores the pre-stealing per-worker
+    budget (each worker gets the full cap — kept for benchmark
+    comparisons against the old pool).
 
     ``incremental=None`` (the default) uses the delta checkers on DFS
     walks and the batch scan elsewhere; ``False`` forces the batch scan
@@ -722,6 +879,7 @@ def run(
             result=result,
             incremental=use_inc,
             oracle=checker_oracle,
+            per_worker_budget=per_worker_budget,
         )
     search = SerialSearch(
         sim,

@@ -1,0 +1,333 @@
+"""A cross-process seen-set of canonical fingerprints, claim-once.
+
+The work-stealing frontier (:mod:`repro.engine.parallel`) lets every
+worker consult one *global* dedup set before expanding a configuration,
+instead of each worker re-expanding fingerprints its siblings already
+covered.  The set stores the engine's 16-byte
+:meth:`~repro.sim.executor.Simulation.fingerprint` digests and supports
+exactly one operation:
+
+``claim(fp) -> bool``
+    Atomically insert-if-absent.  ``True`` means the caller now *owns*
+    the fingerprint (it is the one worker that expands it); ``False``
+    means some claimer — possibly in another process — got there first
+    (the caller records a dedup and prunes).  The claim is the whole
+    protocol: there is no separate lookup, so the check and the insert
+    cannot race apart.
+
+Two implementations behind the same interface:
+
+* :class:`SharedSeenSet` — an open-addressing hash table in one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment.  Slots
+  are write-once (16 zero bytes = empty; a slot once written never
+  changes), probing is linear from ``fp[:8] mod slots``, and claims are
+  serialized per table *region* by a small array of striped locks: a
+  claimer holds only the lock of the region its probe is currently in,
+  so two claims contend only when their probes overlap the same region.
+  Plain reads of shared memory without barriers are not safely ordered
+  in Python, so there is deliberately **no** lock-free read fast path —
+  the region lock is a single semaphore acquire (~1µs) against search
+  steps that cost hundreds of µs.
+* :class:`DiskSeenSet` — an sqlite-backed table (stdlib ``sqlite3``,
+  ``INSERT OR IGNORE`` under sqlite's own cross-process locking) for
+  searches whose fingerprint population would not fit in RAM.  Much
+  slower per claim, unbounded capacity.
+
+:func:`make_seen_set` picks between them from the expected population
+and a memory budget.  Both are picklable: sending one to a worker
+process re-attaches to the same underlying segment/file, so the parent
+constructs the set once and ships it inside the worker bootstrap.
+
+Soundness under POR: a fingerprint in this set means "some worker
+expanded this configuration **with an empty sleep set**" — the one kind
+of visit whose coverage is universal (the sleep-subset rule ``prior ⊆
+current`` holds for every later visit because ``∅ ⊆ anything``).
+Visits with non-empty sleep sets never claim here and fall back to the
+worker-local sleep-aware seen dict; see ``docs/model.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sqlite3
+import tempfile
+from typing import List, Optional, Tuple
+
+#: fingerprint width: blake2b(digest_size=16) everywhere in the repo
+FP_BYTES = 16
+
+#: the all-zeroes digest doubles as the empty-slot marker; the (one)
+#: real fingerprint equal to it is tracked by a dedicated header byte
+_ZERO_FP = b"\x00" * FP_BYTES
+
+#: number of striped region locks in a SharedSeenSet
+_N_LOCKS = 64
+
+#: default in-memory budget for the shared table before spilling to disk
+DEFAULT_MEM_LIMIT = 256 * 1024 * 1024
+
+
+def _attach_shm(name: str):
+    """Attach to an existing segment without re-registering it for
+    unlink (the creator owns the segment's lifetime; a worker attach
+    that also registered it would double-unlink at exit)."""
+    from multiprocessing import shared_memory
+
+    try:  # Python >= 3.13
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return shm
+
+
+class SharedSeenSet:
+    """Write-once open-addressing claim set in shared memory.
+
+    Layout: one header byte (the claim bit for the all-zeroes
+    fingerprint) followed by ``slots`` fixed 16-byte slots.  A slot is
+    empty while all-zero and is written exactly once, under the lock of
+    the table region it belongs to; claimers hold one region lock at a
+    time and re-acquire as their probe crosses regions, so claims of
+    the same fingerprint are serialized at the slot that decides them.
+
+    ``hits``/``inserts``/``overflows`` are *local* tallies of this
+    process's claims (each worker folds its own into its result); the
+    table itself holds no counters, so no shared cacheline is bumped on
+    every claim.
+    """
+
+    def __init__(self, capacity_hint: int, *, ctx=None):
+        if ctx is None:
+            ctx = multiprocessing.get_context()
+        slots = 1024
+        while slots < 2 * max(capacity_hint, 1):
+            slots *= 2
+        from multiprocessing import shared_memory
+
+        self.slots = slots
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=1 + slots * FP_BYTES
+        )
+        self.shm.buf[: 1 + slots * FP_BYTES] = bytes(1 + slots * FP_BYTES)
+        self.locks: List = [ctx.Lock() for _ in range(_N_LOCKS)]
+        self._owner = True
+        self.hits = 0
+        self.inserts = 0
+        self.overflows = 0
+
+    # -- pickling: workers re-attach to the same segment -------------------
+
+    def __getstate__(self):
+        return (self.shm.name, self.slots, self.locks)
+
+    def __setstate__(self, state):
+        name, slots, locks = state
+        self.slots = slots
+        self.locks = locks
+        self.shm = _attach_shm(name)
+        self._owner = False
+        self.hits = 0
+        self.inserts = 0
+        self.overflows = 0
+
+    # -- the claim protocol ------------------------------------------------
+
+    def _region(self, slot: int) -> int:
+        return (slot * _N_LOCKS) // self.slots
+
+    def claim(self, fp: bytes) -> bool:
+        """Insert-if-absent; True iff this call inserted ``fp``."""
+        if len(fp) != FP_BYTES:
+            raise ValueError(f"fingerprint must be {FP_BYTES} bytes")
+        buf = self.shm.buf
+        if fp == _ZERO_FP:
+            # the header byte, guarded by region-0's lock
+            with self.locks[0]:
+                if buf[0]:
+                    self.hits += 1
+                    return False
+                buf[0] = 1
+                self.inserts += 1
+                return True
+        slots = self.slots
+        slot = int.from_bytes(fp[:8], "little") % slots
+        region = self._region(slot)
+        lock = self.locks[region]
+        lock.acquire()
+        try:
+            for _ in range(slots):
+                r = self._region(slot)
+                if r != region:
+                    # probe crossed into the next region: swap locks
+                    lock.release()
+                    region, lock = r, self.locks[r]
+                    lock.acquire()
+                off = 1 + slot * FP_BYTES
+                cur = bytes(buf[off : off + FP_BYTES])
+                if cur == fp:
+                    self.hits += 1
+                    return False
+                if cur == _ZERO_FP:
+                    buf[off : off + FP_BYTES] = fp
+                    self.inserts += 1
+                    return True
+                slot = (slot + 1) % slots
+            # table full: treat as freshly claimed (the caller expands —
+            # dedup is lost, soundness is not) and record the overflow
+            self.overflows += 1
+            self.inserts += 1
+            return True
+        finally:
+            lock.release()
+
+    def __contains__(self, fp: bytes) -> bool:
+        """Membership without claiming (tests/diagnostics only)."""
+        before_hits, before_ins = self.hits, self.inserts
+        inserted = self.claim(fp)
+        self.hits, self.inserts = before_hits, before_ins
+        if inserted and fp != _ZERO_FP:
+            # undo the probe insert: claims are write-once, so scrub the
+            # slot we just wrote (safe only because __contains__ is a
+            # single-process test helper, never part of the protocol)
+            slots = self.slots
+            slot = int.from_bytes(fp[:8], "little") % slots
+            for _ in range(slots):
+                off = 1 + slot * FP_BYTES
+                if bytes(self.shm.buf[off : off + FP_BYTES]) == fp:
+                    self.shm.buf[off : off + FP_BYTES] = _ZERO_FP
+                    break
+                slot = (slot + 1) % slots
+        elif inserted:
+            self.shm.buf[0] = 0
+        return not inserted
+
+    def stats(self) -> Tuple[int, int, int]:
+        return (self.hits, self.inserts, self.overflows)
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except Exception:  # pragma: no cover - double close
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (creator only, after workers exited)."""
+        self.close()
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+
+class DiskSeenSet:
+    """Sqlite-backed claim set for populations larger than RAM.
+
+    One ``INSERT OR IGNORE`` per claim under sqlite's own file locking
+    (correct across processes, WAL mode for claim/claim concurrency).
+    Connections are opened lazily *per process* — a connection must
+    never cross a fork.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-seen-", suffix=".db")
+            os.close(fd)
+            self._owner = True
+        else:
+            self._owner = False
+        self.path = path
+        self.hits = 0
+        self.inserts = 0
+        self.overflows = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        # create the schema eagerly so attaching workers find it
+        conn = self._connect()
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS seen (fp BLOB PRIMARY KEY) WITHOUT ROWID"
+        )
+        conn.commit()
+
+    def __getstate__(self):
+        return self.path
+
+    def __setstate__(self, path):
+        self.path = path
+        self._owner = False
+        self.hits = 0
+        self.inserts = 0
+        self.overflows = 0
+        self._conn = None
+        self._conn_pid = None
+
+    def _connect(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            self._conn = sqlite3.connect(self.path, timeout=60.0)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn_pid = pid
+        return self._conn
+
+    def claim(self, fp: bytes) -> bool:
+        conn = self._connect()
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO seen (fp) VALUES (?)", (fp,)
+        )
+        conn.commit()
+        if cur.rowcount == 1:
+            self.inserts += 1
+            return True
+        self.hits += 1
+        return False
+
+    def __contains__(self, fp: bytes) -> bool:
+        cur = self._connect().execute(
+            "SELECT 1 FROM seen WHERE fp = ?", (fp,)
+        )
+        return cur.fetchone() is not None
+
+    def stats(self) -> Tuple[int, int, int]:
+        return (self.hits, self.inserts, self.overflows)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def unlink(self) -> None:
+        self.close()
+        if self._owner:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.path + suffix)
+                except OSError:
+                    pass
+
+
+def make_seen_set(
+    capacity_hint: int,
+    *,
+    ctx=None,
+    mem_limit: int = DEFAULT_MEM_LIMIT,
+):
+    """The right claim set for an expected fingerprint population.
+
+    A population whose 2x-slack table fits in ``mem_limit`` gets the
+    shared-memory table; anything larger spills to the disk-backed
+    store (slower per claim, no capacity ceiling).
+    """
+    slots = 1024
+    while slots < 2 * max(capacity_hint, 1):
+        slots *= 2
+    if slots * FP_BYTES <= mem_limit:
+        return SharedSeenSet(capacity_hint, ctx=ctx)
+    return DiskSeenSet()

@@ -164,13 +164,14 @@ def test_workers_pool_path_forced(monkeypatch):
     assert fanned.violations[0] == serial.violations[0]
 
 
-def test_workers_root_dedup_without_por(monkeypatch):
-    """Non-POR frontier roots are deduped by canonical fingerprint.
+def test_workers_root_dedup_on_strict_keyed_seeding(monkeypatch):
+    """Strict-keyed frontier roots are deduped by canonical fingerprint.
 
-    Without POR the seeding walk keys on the strict fingerprint, so
-    roots reached by different orders of commuting events look distinct;
-    the pre-ship dedup must collapse them (fewer payloads) without
-    changing the verdict or the anomaly union, deterministically.
+    A first-violation run seeds with strict keys (no shared claim set),
+    so roots reached by different orders of commuting events look
+    distinct; the pre-ship dedup must recompute canonical prints (via
+    the batched restore sweep) and collapse them — fewer payloads, same
+    first violation as serial.
     """
     from repro.engine import parallel
 
@@ -178,25 +179,53 @@ def test_workers_root_dedup_without_por(monkeypatch):
     shipped = {}
     orig = parallel._dedup_roots
 
-    def spy(sim, roots, por, partial):
-        kept = orig(sim, roots, por, partial)
+    def spy(sim, roots, canonical, partial):
+        kept = orig(sim, roots, canonical, partial)
         shipped["before"], shipped["after"] = len(roots), len(kept)
         return kept
 
     monkeypatch.setattr(parallel, "_dedup_roots", spy)
-    kw = dict(max_depth=10, max_states=60_000, first_violation_only=False)
+    kw = dict(max_depth=18, max_states=60_000, first_violation_only=True)
     serial = explore_write_read_race("fastclaim", workers=1, **kw)
     fanned = explore_write_read_race("fastclaim", workers=2, **kw)
     assert not fanned.auto_serial
     assert shipped["after"] < shipped["before"]  # dedup actually bites
+    assert serial.violation_found and fanned.violation_found
+    assert fanned.violations[0][0] == serial.violations[0][0]
+
+
+def test_workers_shared_quotient_deterministic(monkeypatch):
+    """Exhaustive pool runs explore the shared canonical quotient.
+
+    With the cross-worker claim set every canonical class is expanded
+    exactly once pool-wide, so the merged counts are bit-identical run
+    to run (no wall-clock dependence), never exceed the serial count,
+    and the anomaly union matches serial exactly.  The seeding walk
+    keys canonically too, so duplicate roots never even materialize.
+    """
+    from repro.engine import parallel
+
+    monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+    kw = dict(max_depth=10, max_states=60_000, first_violation_only=False)
+    serial = explore_write_read_race("fastclaim", workers=1, **kw)
+    fanned = explore_write_read_race("fastclaim", workers=2, **kw)
+    assert not fanned.auto_serial
     assert fanned.violation_found == serial.violation_found
     assert anomaly_union(fanned) == anomaly_union(serial)
+    assert fanned.states_visited <= serial.states_visited
+    assert fanned.shared_seen_hits > 0  # cross-worker dedup actually ran
     again = explore_write_read_race("fastclaim", workers=2, **kw)
     assert (
         fanned.states_visited,
         fanned.states_deduped,
         fanned.schedules_completed,
-    ) == (again.states_visited, again.states_deduped, again.schedules_completed)
+        fanned.truncated,
+    ) == (
+        again.states_visited,
+        again.states_deduped,
+        again.schedules_completed,
+        again.truncated,
+    )
 
 
 def test_dedup_roots_sleep_subset_rule():
@@ -225,6 +254,90 @@ def test_dedup_roots_sleep_subset_rule():
     assert [n.fingerprint for n in kept] == [b"A", b"A", b"B"]
     assert [set(n.sleep) for n in kept] == [{1}, set(), set()]
     assert partial.states_deduped == 2
+
+
+def test_sweep_order_maximizes_component_sharing():
+    """Pure unit test for the batched-recompute restore sweep.
+
+    Greedy nearest-neighbour over component signatures: start at root 0,
+    hop to the root sharing the most component tokens, ties to the
+    lowest index.  Signature tokens compare by identity-or-equality.
+    """
+    from repro.engine.parallel import sweep_order
+
+    # 0 shares 2 tokens with 2, one with 1 and 3; from 2 the best left
+    # is 3 (shares "c"); 1 comes last.
+    sigs = [
+        ("a", "b", "x"),
+        ("q", "r", "x"),
+        ("a", "b", "c"),
+        ("q", "b", "c"),
+    ]
+    assert sweep_order(sigs) == [0, 2, 3, 1]
+    # ties break low: 1 and 2 both share everything with 0
+    assert sweep_order([("a",), ("a",), ("a",)]) == [0, 1, 2]
+    # degenerate sizes pass through
+    assert sweep_order([]) == []
+    assert sweep_order([("a",)]) == [0]
+    assert sweep_order([("a",), ("b",)]) == [0, 1]
+
+
+def test_global_budget_caps_pool(monkeypatch):
+    """``max_states`` is one pool-wide budget, not per worker.
+
+    The canonical quotient of the full-scope fastclaim scenario is ~1.3k
+    states, so a 600-state cap must bind: the pool stops at <= 600
+    visits in total.  ``per_worker_budget=True`` restores the old
+    semantics — each worker gets the full cap — and visits more.
+    """
+    from repro.engine import parallel
+
+    monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+    kw = dict(
+        max_depth=18, max_states=600, first_violation_only=False, workers=2
+    )
+    pooled = explore_write_read_race("fastclaim", **kw)
+    assert not pooled.auto_serial
+    assert pooled.exhausted
+    assert pooled.states_visited <= 600
+    legacy = explore_write_read_race(
+        "fastclaim", per_worker_budget=True, **kw
+    )
+    assert legacy.states_visited > pooled.states_visited
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_workers_steal_under_load_equivalence(monkeypatch, workers):
+    """Skewed load: stealing rebalances, the answer doesn't move.
+
+    The full-scope fastclaim race is heavily skewed — subtrees under the
+    multi-object write dwarf the read-first subtrees — so static root
+    assignment starves workers; the deque must actually migrate work.
+    Under that load, at every pool width: identical verdict and anomaly
+    union, pool-wide visits never above serial, and the first-violation
+    arm reports the bit-identical serial trace.
+    """
+    from repro.engine import parallel
+
+    monkeypatch.setattr(parallel, "SERIAL_PROBE_STATES", 0)
+    kw = dict(max_depth=18, max_states=80_000, por=True)
+    serial = explore_write_read_race(
+        "fastclaim", first_violation_only=False, **kw
+    )
+    fanned = explore_write_read_race(
+        "fastclaim", first_violation_only=False, workers=workers, **kw
+    )
+    assert not fanned.auto_serial
+    assert fanned.violation_found == serial.violation_found
+    assert anomaly_union(fanned) == anomaly_union(serial)
+    assert fanned.states_visited <= serial.states_visited
+    # first-violation arm: the bit-identical serial trace wins the merge
+    s_first = explore_write_read_race("fastclaim", **kw)
+    f_first = explore_write_read_race("fastclaim", workers=workers, **kw)
+    assert f_first.violations[0][0] == s_first.violations[0][0]
+    assert [str(a) for a in f_first.violations[0][1]] == [
+        str(a) for a in s_first.violations[0][1]
+    ]
 
 
 def test_workers_merge_counters():
