@@ -142,71 +142,86 @@ class SharedSeenSet:
     def _region(self, slot: int) -> int:
         return (slot * _N_LOCKS) // self.slots
 
-    def claim(self, fp: bytes) -> bool:
-        """Insert-if-absent; True iff this call inserted ``fp``."""
-        if len(fp) != FP_BYTES:
-            raise ValueError(f"fingerprint must be {FP_BYTES} bytes")
-        buf = self.shm.buf
-        if fp == _ZERO_FP:
-            # the header byte, guarded by region-0's lock
-            with self.locks[0]:
-                if buf[0]:
-                    self.hits += 1
-                    return False
-                buf[0] = 1
-                self.inserts += 1
-                return True
+    def _probe(self, fp: bytes, insert: bool) -> str:
+        """Walk the probe sequence under the striped locks.
+
+        Returns ``"present"`` / ``"inserted"`` / ``"absent"`` /
+        ``"full"``.  Hand-over-hand locking with a held-flag: the flag
+        is cleared *before* the old lock is released and set again only
+        after the next lock is acquired, so the ``finally`` releases
+        exactly the lock this frame holds — an exception anywhere in
+        the swap window can leak a lock at worst, never release one
+        that another claimer holds (which would corrupt the semaphore
+        count for every process sharing the table).
+        """
         slots = self.slots
         slot = int.from_bytes(fp[:8], "little") % slots
         region = self._region(slot)
         lock = self.locks[region]
-        lock.acquire()
+        held = False
         try:
+            lock.acquire()
+            held = True
             for _ in range(slots):
                 r = self._region(slot)
                 if r != region:
                     # probe crossed into the next region: swap locks
+                    held = False
                     lock.release()
                     region, lock = r, self.locks[r]
                     lock.acquire()
+                    held = True
                 off = 1 + slot * FP_BYTES
-                cur = bytes(buf[off : off + FP_BYTES])
+                cur = bytes(self.shm.buf[off : off + FP_BYTES])
                 if cur == fp:
+                    return "present"
+                if cur == _ZERO_FP:
+                    if insert:
+                        self.shm.buf[off : off + FP_BYTES] = fp
+                        return "inserted"
+                    return "absent"
+                slot = (slot + 1) % slots
+            return "full"
+        finally:
+            if held:
+                lock.release()
+
+    def claim(self, fp: bytes) -> bool:
+        """Insert-if-absent; True iff this call inserted ``fp``."""
+        if len(fp) != FP_BYTES:
+            raise ValueError(f"fingerprint must be {FP_BYTES} bytes")
+        if fp == _ZERO_FP:
+            # the header byte, guarded by region-0's lock
+            with self.locks[0]:
+                if self.shm.buf[0]:
                     self.hits += 1
                     return False
-                if cur == _ZERO_FP:
-                    buf[off : off + FP_BYTES] = fp
-                    self.inserts += 1
-                    return True
-                slot = (slot + 1) % slots
+                self.shm.buf[0] = 1
+                self.inserts += 1
+                return True
+        outcome = self._probe(fp, insert=True)
+        if outcome == "present":
+            self.hits += 1
+            return False
+        if outcome == "full":
             # table full: treat as freshly claimed (the caller expands —
             # dedup is lost, soundness is not) and record the overflow
             self.overflows += 1
-            self.inserts += 1
-            return True
-        finally:
-            lock.release()
+        self.inserts += 1
+        return True
 
     def __contains__(self, fp: bytes) -> bool:
-        """Membership without claiming (tests/diagnostics only)."""
-        before_hits, before_ins = self.hits, self.inserts
-        inserted = self.claim(fp)
-        self.hits, self.inserts = before_hits, before_ins
-        if inserted and fp != _ZERO_FP:
-            # undo the probe insert: claims are write-once, so scrub the
-            # slot we just wrote (safe only because __contains__ is a
-            # single-process test helper, never part of the protocol)
-            slots = self.slots
-            slot = int.from_bytes(fp[:8], "little") % slots
-            for _ in range(slots):
-                off = 1 + slot * FP_BYTES
-                if bytes(self.shm.buf[off : off + FP_BYTES]) == fp:
-                    self.shm.buf[off : off + FP_BYTES] = _ZERO_FP
-                    break
-                slot = (slot + 1) % slots
-        elif inserted:
-            self.shm.buf[0] = 0
-        return not inserted
+        """Membership without claiming: a read-only locked probe.
+
+        Never writes the table and never perturbs the tallies, so it is
+        safe to call concurrently with claimers in other processes.
+        """
+        if len(fp) != FP_BYTES:
+            raise ValueError(f"fingerprint must be {FP_BYTES} bytes")
+        if fp == _ZERO_FP:
+            with self.locks[0]:
+                return bool(self.shm.buf[0])
+        return self._probe(fp, insert=False) == "present"
 
     def stats(self) -> Tuple[int, int, int]:
         return (self.hits, self.inserts, self.overflows)

@@ -20,7 +20,14 @@ Command line::
     python -m repro.lint src/            # or: make lint
 """
 
-from repro.lint.engine import Finding, LintContext, Rule, run_lint
+from repro.lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    check_budget,
+    run_lint,
+    suppression_counts,
+)
 from repro.lint.rules import ALL_RULES, rule_catalog
 from repro.lint.rules_contract import load_registry_meta
 
@@ -29,7 +36,9 @@ __all__ = [
     "Finding",
     "LintContext",
     "Rule",
+    "check_budget",
     "load_registry_meta",
     "rule_catalog",
     "run_lint",
+    "suppression_counts",
 ]

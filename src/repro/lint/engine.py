@@ -46,8 +46,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-#: codes that may never be suppressed (the suppression meta-rule itself)
-UNSUPPRESSABLE = ("RL001",)
+#: codes that may never be suppressed (the suppression meta-rules)
+UNSUPPRESSABLE = ("RL001", "RL002")
+
+#: per-directory rule policies: a finding whose path contains the
+#: directory segment is dropped when its code matches one of the
+#: prefixes.  Benchmarks measure wall time by design, so the
+#: determinism family stays src-only.
+DEFAULT_DIR_POLICIES: Mapping[str, Tuple[str, ...]] = {
+    "benchmarks": ("RL1",),
+}
 
 CODE_RE = re.compile(r"^RL\d{3}$")
 
@@ -422,20 +430,84 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return unique
 
 
+def suppression_counts(files: Iterable[FileCtx]) -> Dict[str, int]:
+    """Per-code tallies of every suppression comment in ``files``.
+
+    Every ``# repro-lint: disable=`` comment counts, justified or not:
+    the budget machinery bounds the *amount* of suppression, the RL001
+    meta-rule bounds its *quality*.
+    """
+    out: Dict[str, int] = {}
+    for fctx in files:
+        for sup in fctx.suppressions:
+            for code in sup.codes:
+                if CODE_RE.match(code):
+                    out[code] = out.get(code, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def check_budget(
+    counts: Mapping[str, int],
+    budget: Mapping[str, object],
+    budget_path: str,
+) -> List[Finding]:
+    """RL002 findings where suppression tallies exceed the committed budget.
+
+    ``budget`` maps code prefixes ("RL1", "RL404") to ceilings.  A code
+    matched by no budget key has an implicit ceiling of zero, so new
+    suppression families cannot appear without an in-diff budget entry.
+    """
+    findings: List[Finding] = []
+    for prefix in sorted(budget):
+        total = sum(n for code, n in counts.items() if code.startswith(prefix))
+        ceiling = int(budget[prefix])  # type: ignore[call-overload]
+        if total > ceiling:
+            findings.append(
+                Finding(
+                    "RL002",
+                    budget_path,
+                    1,
+                    1,
+                    f"suppression budget exceeded for {prefix}: {total} "
+                    f"suppression(s) committed, budget allows {ceiling} — "
+                    "remove suppressions or raise the budget in the same "
+                    "diff with justification",
+                )
+            )
+    for code in sorted(counts):
+        if not any(code.startswith(p) for p in budget):
+            findings.append(
+                Finding(
+                    "RL002",
+                    budget_path,
+                    1,
+                    1,
+                    f"{counts[code]} suppression(s) for {code} have no "
+                    "budget entry — add one to the committed budget file",
+                )
+            )
+    return findings
+
+
 def run_lint(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     registry: Optional[Mapping[str, Mapping[str, object]]] = None,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    dir_policies: Optional[Mapping[str, Sequence[str]]] = None,
 ) -> Tuple[List[Finding], LintContext]:
     """Lint ``paths`` and return (findings, context).
 
     ``registry``: pass the mapping from
     :func:`repro.lint.rules_contract.load_registry_meta`, or ``None`` to
     skip the RL3xx cross-checks.  ``select``/``ignore`` filter by code
-    prefix ("RL1", "RL110", ...).
+    prefix ("RL1", "RL110", ...).  ``dir_policies`` maps directory
+    segments to ignored code prefixes (default:
+    :data:`DEFAULT_DIR_POLICIES`); pass ``{}`` to disable.
     """
+    if dir_policies is None:
+        dir_policies = DEFAULT_DIR_POLICIES
     if rules is None:
         from repro.lint.rules import ALL_RULES
 
@@ -506,6 +578,14 @@ def run_lint(
             continue
         if ignore and any(finding.code.startswith(s) for s in ignore):
             continue
+        if dir_policies:
+            parts = Path(finding.path).parts
+            if any(
+                segment in parts
+                and any(finding.code.startswith(p) for p in prefixes)
+                for segment, prefixes in dir_policies.items()
+            ):
+                continue
         kept.append(finding)
     kept.sort(key=Finding.sort_key)
     return kept, ctx

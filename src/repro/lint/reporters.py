@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.lint.engine import Finding
 
@@ -27,8 +27,17 @@ def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
     return "\n".join(out)
 
 
-def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
-    """A stable JSON document (schema version 1)."""
+def render_json(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    suppressions: Optional[Mapping[str, int]] = None,
+) -> str:
+    """A stable JSON document (schema version 1).
+
+    ``suppressions`` (per-code tallies of ``# repro-lint: disable``
+    comments in the scanned files) is an additive section: CI archives
+    it with the report so budget drift is visible in artifacts.
+    """
     counts: Dict[str, int] = {}
     for f in findings:
         counts[f.code] = counts.get(f.code, 0) + 1
@@ -37,6 +46,7 @@ def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
         "tool": "repro.lint",
         "files_scanned": files_scanned,
         "counts": {code: counts[code] for code in sorted(counts)},
+        "suppressions": dict(suppressions or {}),
         "findings": [f.as_dict() for f in findings],
     }
     return json.dumps(doc, indent=2, sort_keys=False)

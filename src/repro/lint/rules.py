@@ -5,12 +5,19 @@ them together so the engine, CLI and docs all see the same list.  The
 rule families:
 
 ==========  ============================================
-``RL0xx``   the linter itself (parse errors, suppressions)
+``RL0xx``   the linter itself (parse errors, suppressions, budgets)
 ``RL1xx``   determinism (:mod:`repro.lint.rules_determinism`)
 ``RL2xx``   value flow (:mod:`repro.lint.rules_valueflow`)
 ``RL3xx``   registry contract (:mod:`repro.lint.rules_contract`)
 ``RL4xx``   simulator purity (:mod:`repro.lint.rules_purity`)
+``RL5xx``   snapshot honesty (:mod:`repro.lint.rules_dirty`)
+``RL6xx``   concurrency discipline (:mod:`repro.lint.rules_locks`)
 ==========  ============================================
+
+The RL5xx/RL6xx families are flow-sensitive: they run on the CFG +
+worklist-dataflow core (:mod:`repro.lint.cfg`,
+:mod:`repro.lint.dataflow`) with cross-module class summaries
+(:mod:`repro.lint.summaries`).
 """
 
 from __future__ import annotations
@@ -20,17 +27,25 @@ from typing import Tuple
 from repro.lint.engine import Rule
 from repro.lint.rules_contract import CONTRACT_RULES
 from repro.lint.rules_determinism import DETERMINISM_RULES
+from repro.lint.rules_dirty import DIRTY_RULES
+from repro.lint.rules_locks import LOCK_RULES
 from repro.lint.rules_purity import PURITY_RULES
 from repro.lint.rules_valueflow import VALUEFLOW_RULES
 
 ALL_RULES: Tuple[Rule, ...] = (
-    DETERMINISM_RULES + VALUEFLOW_RULES + CONTRACT_RULES + PURITY_RULES
+    DETERMINISM_RULES
+    + VALUEFLOW_RULES
+    + CONTRACT_RULES
+    + PURITY_RULES
+    + DIRTY_RULES
+    + LOCK_RULES
 )
 
 #: codes emitted by the engine itself, not by a Rule subclass
 ENGINE_CODES = {
     "RL000": "file cannot be read or parsed",
     "RL001": "suppression without justification / malformed code",
+    "RL002": "suppression count exceeds the committed per-family budget",
 }
 
 

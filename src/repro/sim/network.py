@@ -121,9 +121,11 @@ class Network:
         """
         msgs = self.income[pid]
         if msgs:
+            # canonicalize while the list is still tracked state, then
+            # detach and bump: every mutation precedes the version bump
+            msgs.sort(key=lambda m: (m.src, m.link_seq))
             self.income[pid] = []
             self._version += 1
-            msgs.sort(key=lambda m: (m.src, m.link_seq))
         return msgs
 
     # -- inspection ------------------------------------------------------

@@ -1,0 +1,30 @@
+"""RL501: a dirty-tracked mutator that can return without mark_dirty().
+
+The stand-in ``Process`` root makes this file self-contained: the rule
+keys on the base-name chain and on ``mark_dirty`` being defined, not on
+importing the real simulator.
+"""
+
+
+class Process:
+    def mark_dirty(self):
+        self._version = getattr(self, "_version", 0) + 1
+
+
+class Counter(Process):
+    def __init__(self):
+        self.n = 0
+        self.log = []
+
+    def bump(self, flag):
+        self.n += 1  # mutation: the early return below never marks it
+        if flag:
+            return self.n
+        self.mark_dirty()
+        return self.n
+
+    def bump_covered(self, ctx):
+        # a ctx-taking entry point: the executor brackets it with a
+        # version bump, so no in-body mark is required
+        self.n += 1
+        return self.n

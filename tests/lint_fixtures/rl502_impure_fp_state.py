@@ -1,0 +1,20 @@
+"""RL502: fp_state() of a dirty-tracked class mutates self.
+
+Fingerprint/snapshot observers must be pure — a mutating observer makes
+exploration counts depend on when the cache looked.
+"""
+
+
+class Process:
+    def mark_dirty(self):
+        self._version = getattr(self, "_version", 0) + 1
+
+
+class CountingCache(Process):
+    def __init__(self):
+        self.hits = 0
+        self.store = {}
+
+    def fp_state(self):
+        self.hits += 1  # mutation inside the observer
+        return dict(self.store)

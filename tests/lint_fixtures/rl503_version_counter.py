@@ -1,0 +1,22 @@
+"""RL503: pickling overrides that mishandle the _version dirty counter.
+
+``__getstate__`` must exclude ``_version`` (the counter is
+identity-local) and ``__setstate__`` must reset it (a restored component
+without a counter disables its own dirty tracking).
+"""
+
+
+class Process:
+    def mark_dirty(self):
+        self._version = getattr(self, "_version", 0) + 1
+
+
+class Leaky(Process):
+    def __init__(self):
+        self.store = {}
+
+    def __getstate__(self):
+        return dict(self.__dict__)  # ships _version with the state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)  # never resets self._version

@@ -1,0 +1,18 @@
+"""RL602: a manual acquire() that is not release-safe.
+
+The early return leaks the lock; nothing guarantees the release on
+exception paths either.  ``with lock:`` (or acquire immediately
+followed by try/finally) is the accepted shape.
+"""
+
+import threading
+
+LOCK = threading.Lock()
+
+
+def leaky(flag):
+    LOCK.acquire()  # no try/finally (or with-block) guards the release
+    if flag:
+        return 1
+    LOCK.release()
+    return 0

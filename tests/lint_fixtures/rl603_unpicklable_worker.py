@@ -1,0 +1,16 @@
+"""RL603: spawned-worker targets that die at the pickle boundary.
+
+Spawn-context workers import their target by qualified name and rebuild
+arguments by pickling; nested functions and lambdas survive neither.
+"""
+
+import multiprocessing
+
+
+def spawn_all(n):
+    ctx = multiprocessing.get_context("spawn")
+
+    def work(i):  # nested: not importable from the child process
+        return i * i
+
+    return [ctx.Process(target=work, args=(i,)) for i in range(n)]
