@@ -345,6 +345,7 @@ def _worker_main(
     """One long-lived worker: pull, explore, publish, repeat."""
     boot = pickle.loads(boot_payload)
     sim = Simulation([])
+    sim.snapshot_mode = boot["snapshot_mode"]
     spec = resolve_checker(boot["checker"])
     first_violation_only = boot["first_violation_only"]
     ctx = WorkerContext(
@@ -652,6 +653,11 @@ def run_parallel(
             "oracle": oracle,
             "workers": workers,
             "canonical_keys": use_shared,
+            # explicit, not inherited: under a spawn start method the
+            # class-level mode would reset to the default, and a worker
+            # fingerprinting in a different mode than the parent's
+            # seeding walk would not collide with the parent-side claims
+            "snapshot_mode": sim.snapshot_mode,
         }
     )
     procs = [

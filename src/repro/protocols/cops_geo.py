@@ -30,8 +30,9 @@ This module implements that architecture faithfully:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.sim.codec import const, mapf, value
 from repro.sim.messages import Message, ProcessId
 from repro.sim.process import StepContext
 from repro.protocols.base import (
@@ -68,6 +69,14 @@ class PendingReplica:
 
 
 class CopsGeoServer(ServerBase):
+    codec_schema = (
+        const("dc"),
+        value("lamport"),
+        mapf("pending"),
+        mapf("blocked_checks"),
+        value("blocked_reads"),
+    )
+
     def __init__(self, pid, objects, peers, placement):
         super().__init__(pid, objects, peers, placement)
         self.dc = pid_dc(pid)
@@ -77,6 +86,8 @@ class CopsGeoServer(ServerBase):
         #: dep checks we could not yet answer affirmatively:
         #: (obj, ts) -> list of (requester, txid)
         self.blocked_checks: Dict[Tuple[ObjectId, Timestamp], List[Tuple[ProcessId, str]]] = {}
+        #: exact-timestamp reads waiting for replication: (client, req)
+        self.blocked_reads: List[Tuple[ProcessId, Any]] = []
 
     # -- placement helpers --------------------------------------------------
 
@@ -233,14 +244,13 @@ class CopsGeoServer(ServerBase):
         self.queue_send(ctx, msg.src, ReadReply(txid=req.txid, values=tuple(entries)))
 
     def _defer_exact_fetch(self, ctx, client, req, obj, ts) -> None:
-        self.blocked_reads = getattr(self, "blocked_reads", [])
         self.blocked_reads.append((client, req))
 
     def wants_step(self) -> bool:
-        return super().wants_step() or bool(getattr(self, "blocked_reads", None))
+        return super().wants_step() or bool(self.blocked_reads)
 
     def on_tick(self, ctx: StepContext) -> None:
-        blocked = getattr(self, "blocked_reads", [])
+        blocked = self.blocked_reads
         if not blocked:
             return
         still = []
@@ -267,6 +277,8 @@ class CopsGeoServer(ServerBase):
 
 class CopsGeoClient(ClientBase):
     """COPS-GT client pinned to its home datacenter."""
+
+    codec_schema = (const("home_dc"), mapf("deps"))
 
     def __init__(self, pid, servers, placement, n_dcs: int = 2, home_dc: Optional[int] = None):
         super().__init__(pid, servers, placement)

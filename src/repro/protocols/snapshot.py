@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.sim.codec import const, mapf, value
 from repro.sim.messages import Message, ProcessId
 from repro.sim.process import StepContext
 from repro.protocols.base import (
@@ -55,6 +56,8 @@ class SnapshotServer(StabilizingServer):
     service by overriding :meth:`snapshot_view`, :meth:`can_serve` and
     :meth:`version_in_snapshot`.
     """
+
+    codec_schema = (value("deferred_reads"),)
 
     def __init__(self, pid, objects, peers, placement):
         super().__init__(pid, objects, peers, placement)
@@ -177,10 +180,16 @@ class TwoPCMixin:
     down (``local_stable``), which is what makes handed-out snapshots safe.
     """
 
+    codec_schema = (mapf("prepared"), mapf("_dep_vecs"), mapf("_siblings"))
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         #: txid -> (items, prepare_ts)
         self.prepared: Dict[str, Tuple[Tuple[ValueEntry, ...], int]] = {}
+        #: txid -> dependency vector staged at prepare time
+        self._dep_vecs: Dict[str, Tuple] = {}
+        #: txid -> sibling shards of the transaction, staged at prepare
+        self._siblings: Dict[str, Tuple] = {}
 
     def local_stable(self) -> int:
         base = self.clock
@@ -193,9 +202,7 @@ class TwoPCMixin:
             self.observe_clock(int(req.meta.get("client_ts", 0)))
             prepare_ts = self.clock
             self.prepared[req.txid] = (req.items, prepare_ts)
-            self._dep_vecs = getattr(self, "_dep_vecs", {})
             self._dep_vecs[req.txid] = tuple(req.meta.get("dep_vec", ()))
-            self._siblings = getattr(self, "_siblings", {})
             self._siblings[req.txid] = tuple(req.meta.get("siblings", ()))
             self._dirty = True
             self.queue_send(ctx, 
@@ -205,11 +212,11 @@ class TwoPCMixin:
         elif req.kind == "commit":
             commit_ts = int(req.meta["commit_ts"])
             items, _ = self.prepared.pop(req.txid)
-            deps = list(getattr(self, "_dep_vecs", {}).pop(req.txid, ()))
+            deps = list(self._dep_vecs.pop(req.txid, ()))
             # atomic visibility under vector snapshots: a snapshot that
             # includes this shard of the transaction must include every
             # sibling shard — encode the whole commit vector as deps
-            for sib in getattr(self, "_siblings", {}).pop(req.txid, ()):
+            for sib in self._siblings.pop(req.txid, ()):
                 if sib != self.pid:
                     deps.append((sib, commit_ts))
             deps = tuple(deps)
@@ -251,6 +258,8 @@ class SnapshotClient(ClientBase):
 
     push_dependencies = False
     use_write_cache = False
+
+    codec_schema = (value("dep_ts"), value("last_snap"), mapf("write_cache"))
 
     def __init__(self, pid, servers, placement):
         super().__init__(pid, servers, placement)
@@ -357,6 +366,8 @@ class SnapshotClient(ClientBase):
 
 class VectorSnapshotClient(SnapshotClient):
     """Snapshot client variant with vector timestamps (Orbe, Cure)."""
+
+    codec_schema = (mapf("dep_vec"), mapf("last_snap_vec"))
 
     def __init__(self, pid, servers, placement):
         super().__init__(pid, servers, placement)

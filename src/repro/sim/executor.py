@@ -24,6 +24,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.sim.codec import (
+    CodecError,
+    ComponentLedger,
+    cells_digest,
+    ledger_from_cells,
+)
 from repro.sim.messages import Message, Payload, ProcessId
 from repro.sim.network import Network
 from repro.sim.process import Process, StepContext
@@ -71,6 +77,16 @@ class SimCounters:
     idle_waits: int = 0
     shared_seen_hits: int = 0
     shared_seen_inserts: int = 0
+    #: schema-codec accounting (snapshot_mode="codec"): Merkle subtree
+    #: leaves (field cells / map keys / seq elements) freshly encoded
+    #: vs reused from their shadow, and components that fell back to
+    #: the pickled-blob path because their class declares no (or an
+    #: incomplete) codec schema.  cells_encoded is the "re-hashed
+    #: subtrees" measure the codec benchmark gates on: after one event
+    #: it stays O(delta in the touched component), not O(process).
+    cells_encoded: int = 0
+    cells_reused: int = 0
+    codec_fallbacks: int = 0
 
     def describe(self) -> str:
         total = self.bytes_serialized + self.bytes_reused
@@ -95,7 +111,15 @@ class SimCounters:
             setattr(self, key, getattr(self, key) + value)
 
 
-def _net_capture(net: Network):
+def _uv(out: bytearray, n: int) -> None:
+    """Append one unsigned LEB128 varint (structural payload framing)."""
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _net_capture(net: Network, prev=None):
     """Snapshot a network as an immutable structural tuple — zero bytes.
 
     The network's mutable state is pure *placement*: which
@@ -109,12 +133,58 @@ def _net_capture(net: Network):
     (:func:`_net_build`) rebuilds fresh containers around the same
     messages, which satisfies the Configuration ownership rule the same
     way ``copy.deepcopy`` does when it returns immutables by identity.
+
+    ``prev`` (the previous capture, any branch) enables per-container
+    tuple reuse: a queue/buffer whose length matches and whose *last
+    element is the identical object* is provably untouched — every
+    ``post`` appends a freshly minted :class:`Message` (so an identical
+    last element means zero posts since ``prev``), and with zero posts
+    an equal length means zero removals; delivered messages are consumed
+    and never re-enter a container, so the same argument covers the
+    income buffers.  The check is sound across restores too: a rebuilt
+    branch re-mints its messages, so cross-branch aliasing of "same
+    shape, different history" containers is impossible by identity.
     """
+    in_transit = net.in_transit
+    income = net.income
+    if prev is None:
+        ptransit = pincome = ()
+    else:
+        ptransit = prev[1]
+        pincome = prev[3]
+    npt = len(ptransit)
+    transit: List[Any] = []
+    i = 0
+    for link, q in in_transit.items():
+        n = len(q)
+        if i < npt:
+            pent = ptransit[i]
+            tq = pent[1]
+            if len(tq) == n and pent[0] == link and (n == 0 or q[n - 1] is tq[n - 1]):
+                transit.append(pent)
+                i += 1
+                continue
+        transit.append((link, tuple(q)))
+        i += 1
+    npi = len(pincome)
+    inc: List[Any] = []
+    i = 0
+    for pid, v in income.items():
+        n = len(v)
+        if i < npi:
+            pent = pincome[i]
+            tv = pent[1]
+            if len(tv) == n and pent[0] == pid and (n == 0 or v[n - 1] is tv[n - 1]):
+                inc.append(pent)
+                i += 1
+                continue
+        inc.append((pid, tuple(v)))
+        i += 1
     return (
         net.pids,
-        tuple((link, tuple(q)) for link, q in net.in_transit.items()),
+        tuple(transit),
         tuple(net.link_counts.items()),
-        tuple((pid, tuple(v)) for pid, v in net.income.items()),
+        tuple(inc),
     )
 
 
@@ -313,6 +383,11 @@ class DeepCopyConfiguration:
     network: Network
     msg_counter: int
     event_count: int
+    #: lazily computed by :meth:`size_bytes`.  A snapshot's held state
+    #: never changes after capture, so the size is computed once — the
+    #: old implementation re-pickled the full (processes, network) pair
+    #: on *every* call, which made cost reporting itself O(state).
+    _size: Optional[int] = None
 
     def fork(self) -> "DeepCopyConfiguration":
         return DeepCopyConfiguration(
@@ -323,13 +398,92 @@ class DeepCopyConfiguration:
         )
 
     def size_bytes(self) -> int:  # parity with Configuration, for benchmarks
-        return len(pickle.dumps((self.processes, self.network), PICKLE_PROTOCOL))
+        if self._size is None:
+            self._size = len(
+                pickle.dumps((self.processes, self.network), PICKLE_PROTOCOL)
+            )
+        return self._size
 
 
-#: the three snapshot implementations: "bytes" (component-granular delta
-#: snapshots, the default), "blob" (the monolithic single-blob fast path
-#: kept as the perf baseline), "deepcopy" (the reference oracle).
-SNAPSHOT_MODES = ("bytes", "blob", "deepcopy")
+class CodecConfiguration:
+    """A schema-codec delta snapshot: per-field canonical cells.
+
+    Like :class:`Configuration` this is component-granular, but each
+    process entry is a tuple of immutable **cells** (one per declared
+    schema field, see :mod:`repro.sim.codec`) instead of one opaque
+    pickle blob.  That exposes the delta *inside* a component: a restore
+    whose target differs from the live state by one field decodes that
+    field only, and the fingerprint layer hashes the same cells
+    Merkle-style instead of re-serializing the state.  A component whose
+    class declares no usable schema ships as a pickled blob entry
+    (``cells`` slot ``None``) — the oracle-equivalence contract never
+    depends on schema coverage.
+
+    Entries are ``(pid, clsref, cells, blob)`` where exactly one of
+    ``cells``/``blob`` is set; ``clsref`` ("module:qualname") lets a
+    different process (parallel worker) rebuild the component ledger
+    and decode the cells.  The ownership rule matches
+    :class:`Configuration`: everything held is immutable bytes/tuples,
+    so restores never alias live state.
+    """
+
+    __slots__ = ("procs", "net_state", "msg_counter", "event_count")
+
+    def __init__(
+        self,
+        procs: Tuple[Tuple[ProcessId, Optional[str], Optional[Tuple[bytes, ...]], Optional[bytes]], ...],
+        net_state,
+        msg_counter: int,
+        event_count: int,
+    ):
+        self.procs = procs
+        self.net_state = net_state
+        self.msg_counter = msg_counter
+        self.event_count = event_count
+
+    def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
+        """Materialize a private (processes, network) pair."""
+        procs: Dict[ProcessId, Process] = {}
+        for pid, clsref, cells, blob in self.procs:
+            if cells is None:
+                procs[pid] = pickle.loads(blob)
+            else:
+                ledger = ledger_from_cells(clsref, pid, cells)
+                procs[pid] = ledger.decode_component(cells)
+        return procs, _net_build(self.net_state)
+
+    @property
+    def processes(self) -> Dict[ProcessId, Process]:
+        return self.materialize()[0]
+
+    @property
+    def network(self) -> Network:
+        return self.materialize()[1]
+
+    def fork(self) -> "CodecConfiguration":
+        return CodecConfiguration(
+            procs=self.procs,  # immutable: share, don't copy
+            net_state=self.net_state,
+            msg_counter=self.msg_counter,
+            event_count=self.event_count,
+        )
+
+    def size_bytes(self) -> int:
+        total = 0
+        for _pid, _clsref, cells, blob in self.procs:
+            if cells is None:
+                total += len(blob)
+            else:
+                total += sum(len(c) for c in cells)
+        return total
+
+
+#: the four snapshot implementations: "bytes" (component-granular delta
+#: snapshots, the default), "codec" (schema-codec cells, field-granular
+#: deltas + Merkle fingerprints), "blob" (the monolithic single-blob
+#: fast path kept as the perf baseline), "deepcopy" (the reference
+#: oracle).
+SNAPSHOT_MODES = ("bytes", "codec", "blob", "deepcopy")
 
 
 @contextmanager
@@ -368,7 +522,7 @@ def _fast_dumps(obj: Any) -> bytes:
     return buf.getvalue()
 
 
-def _canonize(obj: Any) -> Any:
+def _canonize(obj: Any, memo: Optional[Dict[int, Any]] = None) -> Any:
     """Rewrite a state tree into a canonical, order-deterministic form.
 
     Containers are rebuilt bottom-up; sets and frozensets become
@@ -380,23 +534,44 @@ def _canonize(obj: Any) -> Any:
     protocol-state values.  Dicts keep their insertion order — both
     ``copy.deepcopy`` and ``pickle.loads`` preserve it, so it is already
     deterministic.
+
+    ``memo`` is a per-call memo for the set-element sort keys, keyed by
+    the *original* element's id (each entry holds the element strongly,
+    so ids stay stable for the duration of the call): a vector-clock
+    entry shared by several sets in one state is canonized and dumped
+    once per pass instead of once per set that contains it.
     """
     t = type(obj)
     if t in _ATOMIC_TYPES:
         return obj
     if t is tuple:
-        return tuple(_canonize(x) for x in obj)
+        return tuple(_canonize(x, memo) for x in obj)
     if t is list:
-        return [_canonize(x) for x in obj]
+        return [_canonize(x, memo) for x in obj]
     if t is dict:
-        return {_canonize(k): _canonize(v) for k, v in obj.items()}
+        return {_canonize(k, memo): _canonize(v, memo) for k, v in obj.items()}
     if t is set or t is frozenset:
-        return (
-            _SetMark,
-            t is frozenset,
-            sorted((_canonize(x) for x in obj), key=_fast_dumps),
-        )
-    return (_ObjMark, t.__module__, t.__qualname__, _canonize(obj.__getstate__()))
+        if memo is None:
+            memo = {}
+        entries = []
+        for x in obj:
+            ent = memo.get(id(x))
+            if ent is None or ent[0] is not x:
+                cx = _canonize(x, memo)
+                ent = (x, _fast_dumps(cx), cx)
+                # repro-lint: disable=RL103 — per-call memo; the entry
+                # pins x so the id stays valid, and hits are guarded
+                # with `is`; keys are never ordered or iterated
+                memo[id(x)] = ent
+            entries.append(ent)
+        entries.sort(key=lambda e: e[1])
+        return (_SetMark, t is frozenset, [e[2] for e in entries])
+    return (
+        _ObjMark,
+        t.__module__,
+        t.__qualname__,
+        _canonize(obj.__getstate__(), memo),
+    )
 
 
 class _CompRow:
@@ -412,7 +587,7 @@ class _CompRow:
     (object, version) pair and a restore re-primes all three in one go.
     """
 
-    __slots__ = ("obj", "version", "blob", "fp", "fp_canon")
+    __slots__ = ("obj", "version", "blob", "nbytes", "fp", "fp_canon")
 
     def __init__(self, obj: Any, version: int):
         self.obj = obj
@@ -421,12 +596,22 @@ class _CompRow:
         #: process row, the structural :func:`_net_capture` tuple for
         #: the network row
         self.blob: Optional[Any] = None
+        #: total capture bytes (codec mode), summed once per capture so
+        #: cache hits don't re-walk the cell tuple
+        self.nbytes: int = 0
         self.fp: Optional[bytes] = None        #: canonical dump of __getstate__
         self.fp_canon: Optional[bytes] = None  #: canonical dump of fp_state()
 
 
 #: cache key for the network's component row (process rows key on pid)
 _NET = "\x00network"
+
+#: "no ledger entry yet" sentinel (None means "fallback, use pickle")
+_MISSING = object()
+
+
+def _fp_hasher():
+    return hashlib.blake2b(digest_size=16)
 
 
 class Simulation:
@@ -453,6 +638,32 @@ class Simulation:
         # _CompRow.  Rows hold the component strongly, so object ids
         # cannot be recycled into false hits.
         self._comp_rows: Dict[str, _CompRow] = {}
+        # schema-codec component ledgers (snapshot_mode="codec"), keyed
+        # by pid.  A ledger persists across version bumps — that
+        # persistence is what makes re-encoding O(changed fields) — and
+        # is value-verified on every capture, so it survives restores
+        # and even wholesale component replacement.  ``None`` marks a
+        # component whose class has no usable schema (pickle fallback).
+        self._codec_ledgers: Dict[str, Optional[ComponentLedger]] = {}
+        # canonical-fingerprint payload memo (codec mode): messages are
+        # immutable once sent (RL404), so each payload's canonical form
+        # is computed once per simulation instead of once per
+        # fingerprint.  Entries hold the message strongly (ids stay
+        # valid); keyed by id because payloads are arbitrary unhashable
+        # values.
+        self._payload_canon: Dict[int, Tuple[Message, Any]] = {}
+        # sorted pid order + index map, rebuilt only if the process set
+        # ever changes size (pids are fixed at construction; restores
+        # replace values, never keys).  Used by every fingerprint.
+        self._pid_cache: Optional[
+            Tuple[Tuple[ProcessId, ...], Dict[ProcessId, int]]
+        ] = None
+        # the most recent network capture (any branch) — seeds the
+        # per-container tuple reuse inside :func:`_net_capture`
+        self._net_prev = None
+        # per-container structural-payload fragments, keyed by capture
+        # sub-tuple identity (the guard value keeps the tuple alive)
+        self._net_frag: Dict[int, Tuple[Any, bytes]] = {}
         # the monolithic-blob cache, used by snapshot_mode="blob" only.
         # An entry is valid while the live container objects are
         # identical (``is``) and the aggregate dirty key (per-process
@@ -463,6 +674,15 @@ class Simulation:
         ] = None
 
     # -- configuration management -----------------------------------------
+
+    def _pid_order(self) -> Tuple[Tuple[ProcessId, ...], Dict[ProcessId, int]]:
+        """``(sorted pids, pid → sorted index)``, cached."""
+        cached = self._pid_cache
+        if cached is None or len(cached[0]) != len(self.processes):
+            order = tuple(sorted(self.processes))
+            cached = (order, {pid: i for i, pid in enumerate(order)})
+            self._pid_cache = cached
+        return cached
 
     def _proc_versions(self) -> Tuple[int, ...]:
         return tuple(
@@ -500,12 +720,68 @@ class Simulation:
         row = self._row(_NET, self.network)
         state = row.blob
         if state is None:
-            state = row.blob = _net_capture(self.network)
+            state = row.blob = _net_capture(self.network, self._net_prev)
+            self._net_prev = state
             self.counters.cache_misses += 1
             self.counters.components_serialized += 1
         else:
             self.counters.cache_hits += 1
         return state
+
+    def _codec_capture(
+        self, pid: ProcessId, proc: Process, row: Optional[_CompRow] = None
+    ) -> Tuple[Optional[Tuple[bytes, ...]], Optional[bytes]]:
+        """The component's codec capture: ``(cells, None)`` or, for a
+        schema-less component, ``(None, pickle_blob)``.
+
+        Cached in the component's row (``row.blob`` holds the cell
+        tuple / the blob); on a cache miss the ledger re-encodes only
+        the cells whose fresh encoding differs from the cached bytes.
+        ``row``, when supplied, must be the component's current row
+        (saves the lookup on paths that already fetched it).
+        """
+        if row is None:
+            row = self._row(pid, proc)
+        cached = row.blob
+        if cached is not None:
+            self.counters.cache_hits += 1
+            self.counters.bytes_reused += row.nbytes
+            if type(cached) is tuple:
+                return cached, None
+            return None, cached
+        ledger = self._codec_ledgers.get(pid, _MISSING)
+        if ledger is _MISSING or (
+            ledger is not None and ledger.cls is not type(proc)
+        ):
+            try:
+                ledger = ComponentLedger(proc)
+            except CodecError:
+                ledger = None
+                self.counters.codec_fallbacks += 1
+            self._codec_ledgers[pid] = ledger
+        self.counters.cache_misses += 1
+        self.counters.components_serialized += 1
+        if ledger is None:
+            blob = pickle.dumps(proc, PICKLE_PROTOCOL)
+            self.counters.bytes_serialized += len(blob)
+            row.blob = blob
+            row.nbytes = len(blob)
+            return None, blob
+        try:
+            cells = ledger.capture(proc, self.counters)
+        except CodecError:
+            # state drifted outside the schema (e.g. a field rebound to
+            # an unsupported type): fall back for this component
+            self._codec_ledgers[pid] = None
+            self.counters.codec_fallbacks += 1
+            blob = pickle.dumps(proc, PICKLE_PROTOCOL)
+            self.counters.bytes_serialized += len(blob)
+            row.blob = blob
+            row.nbytes = len(blob)
+            return None, blob
+        row.blob = cells
+        row.nbytes = sum(len(c) for c in cells)
+        return cells, None
 
     def _config_blob(self) -> bytes:
         """The monolithic combined blob (snapshot_mode="blob" only)."""
@@ -556,6 +832,39 @@ class Simulation:
                 msg_counter=self._msg_counter,
                 event_count=self.event_count,
             )
+        if self.snapshot_mode == "codec":
+            entries = []
+            ledgers = self._codec_ledgers
+            rows = self._comp_rows
+            counters = self.counters
+            for pid, proc in self.processes.items():
+                # inline row-hit fast path (the overwhelmingly common
+                # case: one event dirties one component)
+                row = rows.get(pid)
+                if (
+                    row is not None
+                    and row.obj is proc
+                    and row.version == proc._version
+                    and row.blob is not None
+                ):
+                    cached = row.blob
+                    counters.cache_hits += 1
+                    counters.bytes_reused += row.nbytes
+                    if type(cached) is tuple:
+                        entries.append((pid, ledgers[pid].clsref, cached, None))
+                    else:
+                        entries.append((pid, None, None, cached))
+                    continue
+                cells, blob = self._codec_capture(pid, proc, row=None)
+                ledger = ledgers.get(pid)
+                clsref = ledger.clsref if (ledger is not None and cells is not None) else None
+                entries.append((pid, clsref, cells, blob))
+            return CodecConfiguration(
+                procs=tuple(entries),
+                net_state=self._net_snapshot_state(),
+                msg_counter=self._msg_counter,
+                event_count=self.event_count,
+            )
         return Configuration(
             proc_blobs=tuple(
                 (pid, self._comp_blob(self._row(pid, proc)))
@@ -586,6 +895,8 @@ class Simulation:
         self.counters.restores += 1
         if isinstance(config, Configuration):
             self._restore_delta(config)
+        elif isinstance(config, CodecConfiguration):
+            self._restore_codec(config)
         elif isinstance(config, BlobConfiguration):
             self._restore_blob(config)
         else:
@@ -662,6 +973,125 @@ class Simulation:
         if changed or len(new_procs) != len(self.processes):
             self.processes = new_procs
 
+    def _restore_codec(self, config: "CodecConfiguration") -> None:
+        """Apply a codec snapshot as a *field-level* delta.
+
+        Three tiers per component, cheapest first:
+
+        1. The live component's cached capture *is* the snapshot's cell
+           tuple (identity): keep it untouched.
+        2. The live component's row is current (same object, same dirty
+           version) and its ledger matches: compare the snapshot's
+           cells against the live capture's cells and decode **only the
+           differing fields in place**.  Sound because equal canonical
+           bytes imply equal values (injectivity), snapshots hold only
+           immutable bytes (nothing aliases the mutated process), and
+           in the engine's one-snapshot-per-node DFS the live rows are
+           exactly the child state the search is backing out of.
+        3. Otherwise materialize the component fresh from its cells
+           (rebuilding the ledger if the component shipped from another
+           process), or from its pickle blob for fallback components.
+        """
+        counters = self.counters
+        rows = self._comp_rows
+        ledgers = self._codec_ledgers
+        new_procs: Dict[ProcessId, Process] = {}
+        changed = 0
+        for pid, clsref, cells, blob in config.procs:
+            live = self.processes.get(pid)
+            row = rows.get(pid)
+            row_current = (
+                row is not None
+                and live is not None
+                and row.obj is live
+                and row.version == getattr(live, "_version", 0)
+            )
+            if row_current and row.blob is (cells if cells is not None else blob):
+                counters.components_reused += 1
+                new_procs[pid] = live
+                continue
+            ledger = ledgers.get(pid)
+            if (
+                cells is not None
+                and row_current
+                and type(row.blob) is tuple
+                and ledger is not None
+                and ledger.cls is type(live)
+            ):
+                # field-level in-place delta against the live capture
+                live_cells = row.blob
+                schema = ledger.schema
+                decoded = 0
+                for i, cell in enumerate(cells):
+                    have = live_cells[i]
+                    if cell is have or cell == have:
+                        continue
+                    name = schema[i].name
+                    setattr(
+                        live,
+                        name,
+                        ledger.decode_field_delta(
+                            i, cell, getattr(live, name), counters
+                        ),
+                    )
+                    decoded += 1
+                if decoded:
+                    live.mark_dirty()
+                    counters.components_restored += 1
+                    changed += 1
+                else:
+                    counters.components_reused += 1
+                row = _CompRow(live, getattr(live, "_version", 0))
+                row.blob = cells
+                row.nbytes = sum(len(c) for c in cells)
+                rows[pid] = row
+                new_procs[pid] = live
+                continue
+            # full materialization
+            changed += 1
+            counters.components_restored += 1
+            if cells is None:
+                proc = pickle.loads(blob)
+                counters.bytes_restored += len(blob)
+            else:
+                if ledger is None or ledger.clsref != clsref:
+                    ledger = ledger_from_cells(clsref, pid, cells)
+                    ledgers[pid] = ledger
+                proc = ledger.decode_component(cells)
+                counters.bytes_restored += sum(
+                    len(cells[i])
+                    for i, f in enumerate(ledger.schema)
+                    if f.kind != "const"
+                )
+            row = _CompRow(proc, 0)
+            row.blob = cells if cells is not None else blob
+            row.nbytes = (
+                sum(len(c) for c in cells) if cells is not None else len(blob)
+            )
+            rows[pid] = row
+            new_procs[pid] = proc
+        net = self.network
+        row = rows.get(_NET)
+        if (
+            row is not None
+            and row.obj is net
+            and row.version == getattr(net, "_version", 0)
+            and row.blob is config.net_state
+        ):
+            counters.components_reused += 1
+        else:
+            net = _net_build(config.net_state)
+            row = _CompRow(net, 0)
+            row.blob = config.net_state
+            rows[_NET] = row
+            counters.components_restored += 1
+            self.network = net
+            changed += 1
+        if changed == 0:
+            counters.restore_reuses += 1
+        if changed or len(new_procs) != len(self.processes):
+            self.processes = new_procs
+
     def _restore_blob(self, config: "BlobConfiguration") -> None:
         """Restore from a monolithic blob (snapshot_mode="blob")."""
         entry = self._config_cache
@@ -698,32 +1128,105 @@ class Simulation:
                 row = self._row(pid, self.processes[pid])
                 setattr(row, attr, dump)
 
-    def _structural_message_ids(self):
-        """The network's message placement, structurally (for fingerprints).
+    def _structural_payload_strict(self) -> bytes:
+        """The network's message placement as canonical bytes (strict).
 
-        Process ids are mapped to their sorted-order indices so the
-        result is pure ints — ints are never memoized by pickle, so the
-        serialized payload is identity-independent even under the plain
-        (C) pickler.
+        Built from the network's structural capture so the per-link and
+        per-buffer fragments can be memoized by tuple identity — the
+        capture delta (:func:`_net_capture`) reuses the sub-tuple of
+        every untouched container, so one event re-encodes one or two
+        fragments.  Each fragment is a self-delimiting varint run
+        (``src dst n msg_id…`` for links, ``pid n msg_id…`` for income
+        buffers); the payload is the two fragment lists sorted by bytes,
+        each with a count prefix.  That framing is uniquely decodable,
+        so two configurations produce the same payload **iff** their
+        placements are equal — the same partition the pickled-tuple
+        payload induced.  The link indices are load-bearing: a
+        position-only encoding would collide states where the same
+        ``msg_id`` sits on *different* links.
         """
         net = self.network
-        idx = {pid: i for i, pid in enumerate(sorted(self.processes))}
-        return (
-            tuple(
-                sorted(
-                    ((idx[src], idx[dst]), tuple(m.msg_id for m in q))
-                    for (src, dst), q in net.in_transit.items()
-                )
-            ),
-            tuple(
-                sorted(
-                    (idx[pid], tuple(m.msg_id for m in msgs))
-                    for pid, msgs in net.income.items()
-                )
-            ),
-        )
+        idx = self._pid_order()[1]
+        # the capture is cached on the net row by _net_snapshot_state;
+        # build it here (uncounted) if a fingerprint runs first
+        row = self._row(_NET, net)
+        state = row.blob
+        if state is None:
+            state = row.blob = _net_capture(net, self._net_prev)
+            self._net_prev = state
+        frag = self._net_frag
+        tfrags: List[bytes] = []
+        for ent in state[1]:
+            e = frag.get(id(ent))
+            if e is not None and e[0] is ent:
+                tfrags.append(e[1])
+                continue
+            (s, d), q = ent
+            out = bytearray()
+            push = out.append
+            a = idx[s]
+            b = idx[d]
+            push(a) if a < 0x80 else _uv(out, a)
+            push(b) if b < 0x80 else _uv(out, b)
+            n = len(q)
+            push(n) if n < 0x80 else _uv(out, n)
+            for m in q:
+                mid = m.msg_id
+                push(mid) if mid < 0x80 else _uv(out, mid)
+            eb = bytes(out)
+            # repro-lint: disable=RL103 — fragment memo; the entry pins
+            # ent so the id stays valid, hits are guarded with `is`,
+            # and the fragments are sorted by content below
+            frag[id(ent)] = (ent, eb)
+            tfrags.append(eb)
+        ifrags: List[bytes] = []
+        for ent in state[3]:
+            e = frag.get(id(ent))
+            if e is not None and e[0] is ent:
+                ifrags.append(e[1])
+                continue
+            pid, msgs = ent
+            out = bytearray()
+            push = out.append
+            a = idx[pid]
+            push(a) if a < 0x80 else _uv(out, a)
+            n = len(msgs)
+            push(n) if n < 0x80 else _uv(out, n)
+            for m in msgs:
+                mid = m.msg_id
+                push(mid) if mid < 0x80 else _uv(out, mid)
+            eb = bytes(out)
+            # repro-lint: disable=RL103 — same identity-guarded memo as
+            # the transit fragments above
+            frag[id(ent)] = (ent, eb)
+            ifrags.append(eb)
+        tfrags.sort()
+        ifrags.sort()
+        pre1 = bytearray()
+        _uv(pre1, len(tfrags))
+        pre2 = bytearray()
+        _uv(pre2, len(ifrags))
+        return bytes(pre1) + b"".join(tfrags) + bytes(pre2) + b"".join(ifrags)
 
-    def _structural_trace_canonical(self):
+    def _canon_payload(self, m: Message):
+        """A message's canonized payload, memoized for the simulation.
+
+        Messages are immutable once sent (the model's "links do not
+        modify messages", lint rule RL404), so the canonical form never
+        changes; entries hold the message strongly so the id key stays
+        valid.  Used by the codec fingerprint path, where the canonical
+        trace would otherwise re-canonize every in-flight payload on
+        every fingerprint.
+        """
+        entry = self._payload_canon.get(id(m))
+        if entry is None or entry[0] is not m:
+            entry = (m, _canonize(m.payload, {}))
+            # repro-lint: disable=RL103 — identity-guarded memo; the
+            # entry pins m, hits check `entry[0] is m`, keys unordered
+            self._payload_canon[id(m)] = entry
+        return entry[1]
+
+    def _structural_trace_canonical(self, memo: bool = False):
         """Message placement *and contents* up to commutation (POR).
 
         Blind to global ``msg_id``s: in-transit messages are identified
@@ -746,13 +1249,14 @@ class Simulation:
         can produce the same skeleton with different replies in flight.
         """
         net = self.network
-        idx = {pid: i for i, pid in enumerate(sorted(self.processes))}
+        idx = self._pid_order()[1]
+        canon = self._canon_payload if memo else (lambda m: _canonize(m.payload))
         return (
             tuple(
                 sorted(
                     (
                         (idx[src], idx[dst]),
-                        tuple((m.link_seq, _canonize(m.payload)) for m in q),
+                        tuple((m.link_seq, canon(m)) for m in q),
                     )
                     for (src, dst), q in net.in_transit.items()
                     if q
@@ -764,7 +1268,7 @@ class Simulation:
                         idx[pid],
                         tuple(
                             sorted(
-                                (idx[m.src], m.link_seq, _canonize(m.payload))
+                                (idx[m.src], m.link_seq, canon(m))
                                 for m in msgs
                             )
                         ),
@@ -808,7 +1312,7 @@ class Simulation:
         and fast mode cannot handle cyclic state — protocol state here
         is plain acyclic data.)
         """
-        return _fast_dumps(_canonize(obj))
+        return _fast_dumps(_canonize(obj, {}))
 
     def _proc_fp_dumps(self, canonical: bool = False) -> List[Tuple[ProcessId, bytes]]:
         """Canonical per-process state dumps, for :meth:`fingerprint`.
@@ -832,7 +1336,7 @@ class Simulation:
         """
         attr = "fp_canon" if canonical else "fp"
         out: List[Tuple[ProcessId, bytes]] = []
-        for pid in sorted(self.processes):
+        for pid in self._pid_order()[0]:
             proc = self.processes[pid]
             row = self._row(pid, proc)
             dump = getattr(row, attr)
@@ -844,6 +1348,61 @@ class Simulation:
                 setattr(row, attr, dump)
                 self.counters.cache_misses += 1
             out.append((pid, dump))
+        return out
+
+    def _codec_fp_digests(
+        self, canonical: bool = False
+    ) -> List[Tuple[ProcessId, bytes]]:
+        """Per-process Merkle digests (snapshot_mode="codec").
+
+        The strict digest combines the component's field cells
+        (:func:`repro.sim.codec.cells_digest`); the canonical variant
+        swaps in the masked cells for fields declaring a ``canon``
+        transform and reuses the strict cells for everything else — so
+        a fingerprint after one event re-hashes only the cells the
+        event touched, and the hashing itself is C-speed over already
+        encoded buffers.  Digests live in the same dirty-keyed rows as
+        the cell captures; components without a schema hash their
+        canonical pickle, which keeps the partition identical to the
+        bytes mode's.
+        """
+        counters = self.counters
+        out: List[Tuple[ProcessId, bytes]] = []
+        rows = self._comp_rows
+        procs = self.processes
+        for pid in self._pid_order()[0]:
+            proc = procs[pid]
+            # inline _row(): the row is current for every untouched
+            # component, and fingerprints run twice per state
+            row = rows.get(pid)
+            if row is None or row.obj is not proc or row.version != proc._version:
+                row = _CompRow(proc, proc._version)
+                rows[pid] = row
+            digest = row.fp_canon if canonical else row.fp
+            if digest is not None:
+                counters.cache_hits += 1
+                out.append((pid, digest))
+                continue
+            cells, _blob = self._codec_capture(pid, proc, row)
+            if cells is None:
+                state = proc.fp_state() if canonical else proc.__getstate__()
+                digest = hashlib.blake2b(
+                    self._dumps_canonical(state), digest_size=16
+                ).digest()
+            else:
+                ledger = self._codec_ledgers[pid]
+                use = (
+                    ledger.canon_capture(proc, cells, counters)
+                    if canonical
+                    else cells
+                )
+                digest = cells_digest(use, _fp_hasher)
+            if canonical:
+                row.fp_canon = digest
+            else:
+                row.fp = digest
+            counters.cache_misses += 1
+            out.append((pid, digest))
         return out
 
     def _describes_live(self, config) -> bool:
@@ -918,20 +1477,38 @@ class Simulation:
         re-primes the fingerprint cache.
         """
         self.counters.fingerprints += 1
-        dumps = self._proc_fp_dumps(canonical)
-        attach_slot = "fp_dumps_canon" if canonical else "fp_dumps"
-        if (
-            isinstance(config, (Configuration, BlobConfiguration))
-            and getattr(config, attach_slot) is None
-            and self._describes_live(config)
-        ):
-            setattr(config, attach_slot, tuple(dumps))
-        if canonical:
-            # the canonical structure embeds message payloads (arbitrary
-            # values), so it needs the identity-independent serializer
-            payload = _fast_dumps(self._structural_trace_canonical())
+        codec_mode = self.snapshot_mode == "codec"
+        if codec_mode:
+            # Merkle path: per-process digests straight from the cell
+            # captures; no dumps to attach — the persistent ledgers are
+            # the cache, and restores keep them primed by construction
+            dumps = self._codec_fp_digests(canonical)
         else:
-            payload = pickle.dumps(self._structural_message_ids(), PICKLE_PROTOCOL)
+            dumps = self._proc_fp_dumps(canonical)
+            attach_slot = "fp_dumps_canon" if canonical else "fp_dumps"
+            if (
+                isinstance(config, (Configuration, BlobConfiguration))
+                and getattr(config, attach_slot) is None
+                and self._describes_live(config)
+            ):
+                setattr(config, attach_slot, tuple(dumps))
+        # the structural payload is a pure function of the network state,
+        # so it caches in the network's dirty-keyed row (fp/fp_canon are
+        # unused on the _NET row otherwise)
+        netrow = self._row(_NET, self.network)
+        pattr = "fp_canon" if canonical else "fp"
+        payload = getattr(netrow, pattr)
+        if payload is None:
+            if canonical:
+                # the canonical structure embeds message payloads
+                # (arbitrary values), so it needs the
+                # identity-independent serializer
+                payload = _fast_dumps(
+                    self._structural_trace_canonical(memo=codec_mode)
+                )
+            else:
+                payload = self._structural_payload_strict()
+            setattr(netrow, pattr, payload)
         h = hashlib.blake2b(digest_size=16)
         for _pid, dump in dumps:
             # length-framed: process order is fixed (sorted pids), the

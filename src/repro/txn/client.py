@@ -17,10 +17,12 @@ not read it (they keep their own metadata).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.sim.codec import const, seq, value
 from repro.sim.messages import Message, ProcessId
 from repro.sim.process import Process, StepContext
 from repro.txn.types import ObjectId, Transaction, TxnRecord, Value
@@ -50,8 +52,40 @@ class ActiveTxn:
     state: Dict[str, Any] = field(default_factory=dict)
 
 
+def _mask_active(active: Optional[ActiveTxn]) -> Optional[ActiveTxn]:
+    """The canonical-fingerprint view of the in-flight transaction.
+
+    Masks the ``invoked_at`` stamp (a global-event-counter value the
+    client never branches on).  Shared by :meth:`ClientBase.fp_state`
+    and the codec schema's canonical variant so the two views cannot
+    drift apart.
+    """
+    if active is None:
+        return None
+    return dataclasses.replace(active, invoked_at=0)
+
+
+def _mask_record(record: TxnRecord) -> TxnRecord:
+    """Canonical view of one completed-transaction record (stamps masked)."""
+    return dataclasses.replace(record, invoked_at=0, completed_at=0)
+
+
 class ClientBase(Process):
     """Sequential transactional client."""
+
+    #: servers/placement are construction-time configuration; the
+    #: completed list is append-only (seq: only the new tail re-encodes);
+    #: ``current`` and ``completed`` carry canonical masks mirroring
+    #: :meth:`fp_state`
+    codec_schema = (
+        const("servers"),
+        const("placement"),
+        value("pending"),
+        value("current", canon=_mask_active),
+        seq("completed", canon=_mask_record),
+        seq("failed"),
+        value("context"),
+    )
 
     def __init__(
         self,
@@ -116,14 +150,9 @@ class ClientBase(Process):
         completion *order* — all the causal checkers consume — survives in
         the ``completed`` list order.
         """
-        from dataclasses import replace
-
         state = self.__getstate__()
-        if state.get("current") is not None:
-            state["current"] = replace(state["current"], invoked_at=0)
-        state["completed"] = [
-            replace(r, invoked_at=0, completed_at=0) for r in state["completed"]
-        ]
+        state["current"] = _mask_active(state.get("current"))
+        state["completed"] = [_mask_record(r) for r in state["completed"]]
         return state
 
     # -- the step loop -------------------------------------------------------------

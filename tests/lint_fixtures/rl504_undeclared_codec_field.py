@@ -1,0 +1,41 @@
+"""RL504: a schema-coded class assigns a state field its codec_schema
+never declares.
+
+The stand-in ``Process``/``value``/``mapf`` keep the file self-contained:
+the rule keys on the base-name chain and on the ``codec_schema`` class
+attribute, not on importing the real simulator.
+"""
+
+
+def value(name, canon=None):
+    return name
+
+
+def mapf(name):
+    return name
+
+
+class Process:
+    codec_schema = ()
+
+    def mark_dirty(self):
+        self._version = getattr(self, "_version", 0) + 1
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_version", None)
+        return state
+
+
+class Store(Process):
+    codec_schema = (value("lamport"), mapf("pending"))
+
+    def __init__(self):
+        self.lamport = 0
+        self.pending = {}
+        self.backlog = []  # assigned but missing from codec_schema
+
+    def push(self, item):
+        self.backlog.append(item)
+        self.lamport += 1
+        self.mark_dirty()

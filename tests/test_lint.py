@@ -35,6 +35,7 @@ FIXTURE_CODES = [
     "RL501",
     "RL502",
     "RL503",
+    "RL504",
     "RL601",
     "RL602",
     "RL603",
