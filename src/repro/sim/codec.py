@@ -313,7 +313,12 @@ _INT_CELLS = {n: b"\x03" + _varint(_zigzag(n)) for n in range(-32, 1024)}
 #: per-intern-table cache of pre-built SREF byte strings, so encoding a
 #: static string is one dict probe + one list append.  Keyed by table
 #: identity; the guard tuple keeps the table alive and detects id reuse.
+#: Bounded: the guard pins every table ever seen, and tables are built
+#: per ledger — over many Simulations the process would otherwise pin
+#: them all forever.  Overflow clears the cache (a pure cache: live
+#: tables re-derive their entry on the next encode).
 _SENC_CACHE: Dict[int, Tuple[Dict[str, int], Dict[str, bytes]]] = {}
+_SENC_CACHE_CAP = 64
 
 
 def _senc_for(statics: Dict[str, int]) -> Dict[str, bytes]:
@@ -321,6 +326,8 @@ def _senc_for(statics: Dict[str, int]) -> Dict[str, bytes]:
     hit = _SENC_CACHE.get(key)
     if hit is not None and hit[0] is statics:
         return hit[1]
+    if len(_SENC_CACHE) >= _SENC_CACHE_CAP:
+        _SENC_CACHE.clear()
     senc = {s: b"\x06" + _varint(i) for s, i in statics.items()}
     _SENC_CACHE[key] = (statics, senc)
     return senc
@@ -989,7 +996,6 @@ class ComponentLedger:
         if live.__class__ is not dict:
             raise CodecError(f"map field {self.schema[i].name} is not a dict")
         sub = self.subcells.get(i) or {}
-        kindex = self.kindex.get(i)
         new_kindex: Dict[bytes, Any] = {}
         enc = self._enc
         n = len(live)

@@ -22,12 +22,14 @@ import pickle
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
+from operator import is_
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.codec import (
     CodecError,
     ComponentLedger,
     cells_digest,
+    collect_schema,
     ledger_from_cells,
 )
 from repro.sim.messages import Message, Payload, ProcessId
@@ -135,15 +137,20 @@ def _net_capture(net: Network, prev=None):
     way ``copy.deepcopy`` does when it returns immutables by identity.
 
     ``prev`` (the previous capture, any branch) enables per-container
-    tuple reuse: a queue/buffer whose length matches and whose *last
-    element is the identical object* is provably untouched — every
-    ``post`` appends a freshly minted :class:`Message` (so an identical
-    last element means zero posts since ``prev``), and with zero posts
-    an equal length means zero removals; delivered messages are consumed
-    and never re-enter a container, so the same argument covers the
-    income buffers.  The check is sound across restores too: a rebuilt
-    branch re-mints its messages, so cross-branch aliasing of "same
-    shape, different history" containers is impossible by identity.
+    tuple reuse: a queue/buffer whose elements match the previous
+    sub-tuple *element-for-element by identity* is exactly the captured
+    container, so the sub-tuple is reused — which is what keeps the
+    identity-keyed fragment memos downstream (``_net_frag``) hot.  The
+    full scan is the only sound check: restores share the pre-fork
+    :class:`Message` objects by reference (:func:`_net_build` rebuilds
+    containers, not messages), and ``Network.deliver`` removes from
+    arbitrary queue positions — so two sibling DFS branches that
+    deliver *different* non-last messages out of the same restored
+    queue hold containers with equal length and an identical last
+    element but different contents.  A shape-plus-last-element guard
+    would alias their captures.  The scan is O(n) per container, the
+    same order as building the fresh tuple it avoids, and degrades to
+    the length check alone on the first mismatch.
     """
     in_transit = net.in_transit
     income = net.income
@@ -160,7 +167,7 @@ def _net_capture(net: Network, prev=None):
         if i < npt:
             pent = ptransit[i]
             tq = pent[1]
-            if len(tq) == n and pent[0] == link and (n == 0 or q[n - 1] is tq[n - 1]):
+            if len(tq) == n and pent[0] == link and all(map(is_, q, tq)):
                 transit.append(pent)
                 i += 1
                 continue
@@ -174,7 +181,7 @@ def _net_capture(net: Network, prev=None):
         if i < npi:
             pent = pincome[i]
             tv = pent[1]
-            if len(tv) == n and pent[0] == pid and (n == 0 or v[n - 1] is tv[n - 1]):
+            if len(tv) == n and pent[0] == pid and all(map(is_, v, tv)):
                 inc.append(pent)
                 i += 1
                 continue
@@ -288,18 +295,21 @@ class Configuration:
         the snapshot (the network's containers are rebuilt, its messages
         are shared but immutable).
         """
-        procs = {pid: pickle.loads(blob) for pid, blob in self.proc_blobs}
-        return procs, _net_build(self.net_state)
+        return self.processes, self.network
 
     @property
     def processes(self) -> Dict[ProcessId, Process]:
-        """Materialize private copies of the snapshotted processes."""
-        return self.materialize()[0]
+        """Materialize private copies of the snapshotted processes.
+
+        Decodes the process sub-blobs only (each property access is a
+        fresh, independent materialization of just its half).
+        """
+        return {pid: pickle.loads(blob) for pid, blob in self.proc_blobs}
 
     @property
     def network(self) -> Network:
         """Materialize a private copy of the snapshotted network."""
-        return self.materialize()[1]
+        return _net_build(self.net_state)
 
     def fork(self) -> "Configuration":
         forked = Configuration(
@@ -443,6 +453,16 @@ class CodecConfiguration:
 
     def materialize(self) -> Tuple[Dict[ProcessId, Process], Network]:
         """Materialize a private (processes, network) pair."""
+        return self.processes, self.network
+
+    @property
+    def processes(self) -> Dict[ProcessId, Process]:
+        """Decode private copies of the snapshotted processes only.
+
+        Each property access is a fresh, independent materialization of
+        just its half — touching both halves via the properties costs
+        one decode each, not two full ``materialize()`` passes.
+        """
         procs: Dict[ProcessId, Process] = {}
         for pid, clsref, cells, blob in self.procs:
             if cells is None:
@@ -450,15 +470,12 @@ class CodecConfiguration:
             else:
                 ledger = ledger_from_cells(clsref, pid, cells)
                 procs[pid] = ledger.decode_component(cells)
-        return procs, _net_build(self.net_state)
-
-    @property
-    def processes(self) -> Dict[ProcessId, Process]:
-        return self.materialize()[0]
+        return procs
 
     @property
     def network(self) -> Network:
-        return self.materialize()[1]
+        """Rebuild a private copy of the snapshotted network only."""
+        return _net_build(self.net_state)
 
     def fork(self) -> "CodecConfiguration":
         return CodecConfiguration(
@@ -606,12 +623,31 @@ class _CompRow:
 #: cache key for the network's component row (process rows key on pid)
 _NET = "\x00network"
 
-#: "no ledger entry yet" sentinel (None means "fallback, use pickle")
-_MISSING = object()
+#: whether a class's MRO declares a ``codec_schema`` — a pure function
+#: of the class, memoized so schema-less components skip ledger
+#: construction without paying the MRO walk on every capture
+_HAS_SCHEMA: Dict[type, bool] = {}
+
+
+def _class_has_schema(cls: type) -> bool:
+    has = _HAS_SCHEMA.get(cls)
+    if has is None:
+        has = _HAS_SCHEMA[cls] = collect_schema(cls) is not None
+    return has
 
 
 def _fp_hasher():
     return hashlib.blake2b(digest_size=16)
+
+
+#: eviction caps for the identity-keyed fingerprint memos.  Entries pin
+#: their key objects alive (that is what keeps the ``id`` keys valid),
+#: and messages are re-minted on every post-restore re-execution — so an
+#: unbounded memo grows with *total events executed*, not with live
+#: state.  On overflow the memo is simply cleared: both are pure caches,
+#: so the only cost is re-encoding a few live entries on the next pass.
+_PAYLOAD_MEMO_CAP = 4096
+_NET_FRAG_CAP = 8192
 
 
 class Simulation:
@@ -642,15 +678,16 @@ class Simulation:
         # by pid.  A ledger persists across version bumps — that
         # persistence is what makes re-encoding O(changed fields) — and
         # is value-verified on every capture, so it survives restores
-        # and even wholesale component replacement.  ``None`` marks a
-        # component whose class has no usable schema (pickle fallback).
-        self._codec_ledgers: Dict[str, Optional[ComponentLedger]] = {}
+        # and even wholesale component replacement.  Only successful
+        # builds are stored: the pickle-fallback decision is recomputed
+        # per capture so it stays a pure function of (class, state).
+        self._codec_ledgers: Dict[str, ComponentLedger] = {}
         # canonical-fingerprint payload memo (codec mode): messages are
         # immutable once sent (RL404), so each payload's canonical form
         # is computed once per simulation instead of once per
         # fingerprint.  Entries hold the message strongly (ids stay
         # valid); keyed by id because payloads are arbitrary unhashable
-        # values.
+        # values.  Bounded by _PAYLOAD_MEMO_CAP (cleared on overflow).
         self._payload_canon: Dict[int, Tuple[Message, Any]] = {}
         # sorted pid order + index map, rebuilt only if the process set
         # ever changes size (pids are fixed at construction; restores
@@ -662,7 +699,8 @@ class Simulation:
         # per-container tuple reuse inside :func:`_net_capture`
         self._net_prev = None
         # per-container structural-payload fragments, keyed by capture
-        # sub-tuple identity (the guard value keeps the tuple alive)
+        # sub-tuple identity (the guard value keeps the tuple alive);
+        # bounded by _NET_FRAG_CAP (cleared on overflow)
         self._net_frag: Dict[int, Tuple[Any, bytes]] = {}
         # the monolithic-blob cache, used by snapshot_mode="blob" only.
         # An entry is valid while the live container objects are
@@ -749,19 +787,31 @@ class Simulation:
             if type(cached) is tuple:
                 return cached, None
             return None, cached
-        ledger = self._codec_ledgers.get(pid, _MISSING)
-        if ledger is _MISSING or (
-            ledger is not None and ledger.cls is not type(proc)
-        ):
-            try:
-                ledger = ComponentLedger(proc)
-            except CodecError:
-                ledger = None
-                self.counters.codec_fallbacks += 1
-            self._codec_ledgers[pid] = ledger
+        ledger = self._codec_ledgers.get(pid)
+        if ledger is None or ledger.cls is not type(proc):
+            # (re)build the ledger.  The cells-vs-blob decision must be
+            # a pure function of (class, state) — never of the
+            # simulation's history — or two branches/workers reaching
+            # the identical state would fingerprint it differently and
+            # break shared-seen-set dedup.  So a failed build is never
+            # cached: schema-less classes are recognized by the (pure,
+            # class-keyed) _class_has_schema memo, and a state-level
+            # mismatch falls back for this capture only and is retried
+            # on the next one.
+            ledger = None
+            if _class_has_schema(type(proc)):
+                try:
+                    ledger = ComponentLedger(proc)
+                except CodecError:
+                    ledger = None
+            if ledger is None:
+                self._codec_ledgers.pop(pid, None)
+            else:
+                self._codec_ledgers[pid] = ledger
         self.counters.cache_misses += 1
         self.counters.components_serialized += 1
         if ledger is None:
+            self.counters.codec_fallbacks += 1
             blob = pickle.dumps(proc, PICKLE_PROTOCOL)
             self.counters.bytes_serialized += len(blob)
             row.blob = blob
@@ -771,8 +821,12 @@ class Simulation:
             cells = ledger.capture(proc, self.counters)
         except CodecError:
             # state drifted outside the schema (e.g. a field rebound to
-            # an unsupported type): fall back for this component
-            self._codec_ledgers[pid] = None
+            # an unsupported type): fall back for THIS capture only.
+            # The ledger is kept and the next capture retries the codec
+            # path, so the fallback — and with it the fingerprint —
+            # stays a function of the state, not of when the drift
+            # happened (a partially updated cell cache is harmless:
+            # capture re-encodes and byte-compares every field).
             self.counters.codec_fallbacks += 1
             blob = pickle.dumps(proc, PICKLE_PROTOCOL)
             self.counters.bytes_serialized += len(blob)
@@ -905,6 +959,7 @@ class Simulation:
             self.network = forked.network
             self._config_cache = None
             self._comp_rows = {}
+            self._net_prev = None
         self._msg_counter = config.msg_counter
         self.event_count = config.event_count
 
@@ -968,6 +1023,10 @@ class Simulation:
             counters.components_restored += 1
             self.network = net
             changed += 1
+        # the snapshot's capture describes the network's exact state now,
+        # so it is the right (same-lineage) seed for the next capture's
+        # per-container reuse scan
+        self._net_prev = config.net_state
         if changed == 0:
             counters.restore_reuses += 1
         if changed or len(new_procs) != len(self.processes):
@@ -1087,6 +1146,10 @@ class Simulation:
             counters.components_restored += 1
             self.network = net
             changed += 1
+        # the snapshot's capture describes the network's exact state now,
+        # so it is the right (same-lineage) seed for the next capture's
+        # per-container reuse scan
+        self._net_prev = config.net_state
         if changed == 0:
             counters.restore_reuses += 1
         if changed or len(new_procs) != len(self.processes):
@@ -1118,6 +1181,7 @@ class Simulation:
         self.counters.bytes_restored += len(config.blob)
         # re-prime the fingerprint rows from the snapshot's attached dumps
         self._comp_rows = {}
+        self._net_prev = None
         for attr, dumps in (
             ("fp", config.fp_dumps),
             ("fp_canon", config.fp_dumps_canon),
@@ -1155,6 +1219,8 @@ class Simulation:
             state = row.blob = _net_capture(net, self._net_prev)
             self._net_prev = state
         frag = self._net_frag
+        if len(frag) >= _NET_FRAG_CAP:
+            frag.clear()
         tfrags: List[bytes] = []
         for ent in state[1]:
             e = frag.get(id(ent))
@@ -1218,12 +1284,15 @@ class Simulation:
         trace would otherwise re-canonize every in-flight payload on
         every fingerprint.
         """
-        entry = self._payload_canon.get(id(m))
+        memo = self._payload_canon
+        entry = memo.get(id(m))
         if entry is None or entry[0] is not m:
+            if len(memo) >= _PAYLOAD_MEMO_CAP:
+                memo.clear()
             entry = (m, _canonize(m.payload, {}))
             # repro-lint: disable=RL103 — identity-guarded memo; the
             # entry pins m, hits check `entry[0] is m`, keys unordered
-            self._payload_canon[id(m)] = entry
+            memo[id(m)] = entry
         return entry[1]
 
     def _structural_trace_canonical(self, memo: bool = False):

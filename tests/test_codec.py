@@ -16,7 +16,7 @@ Three layers of defense, cheapest first:
 """
 
 import pickle
-from collections import deque
+from collections import OrderedDict, deque
 
 import pytest
 from hypothesis import given, settings
@@ -31,8 +31,10 @@ from repro.sim.codec import (
     codec_equal,
     decode_cell,
     encode_cell,
+    value,
 )
-from repro.sim.executor import SimCounters, use_snapshot_mode
+from repro.sim.executor import SimCounters, Simulation, use_snapshot_mode
+from repro.sim.process import Process
 from repro.sim.scheduler import RoundRobinScheduler
 from repro.txn.client import UnsupportedTransaction
 from repro.txn.types import BOTTOM, Transaction
@@ -234,3 +236,100 @@ def test_codec_fingerprint_work_is_o_delta():
         assert delta <= 8, (
             f"one event re-encoded {delta} cells (system has {total_cells})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Fallback purity: the cells-vs-blob decision is a function of the state
+# ---------------------------------------------------------------------------
+
+
+class _DriftyProc(Process):
+    """Schema'd process whose ``x`` can be rebound outside the schema."""
+
+    codec_schema = (value("x"),)
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.x = 0
+
+    def on_step(self, ctx, inbox):
+        pass
+
+
+def test_transient_codec_fallback_is_not_sticky():
+    """A mid-run ``CodecError`` must not permanently switch the pid to
+    the pickle fallback: the fingerprint has to stay a pure function of
+    the state (shared-seen-set dedup compares fingerprints across
+    workers and branches with different histories)."""
+    with use_snapshot_mode("codec"):
+        sim = Simulation([_DriftyProc("a")])
+        fp0 = sim.fingerprint()
+        snap0 = sim.snapshot()
+        assert snap0.procs[0][2] is not None  # cells, not a blob
+        proc = sim.processes["a"]
+        # drift outside the schema: builtin-container subclasses are
+        # not codec-encodable
+        proc.x = OrderedDict()
+        proc.mark_dirty()
+        assert sim.counters.codec_fallbacks == 0
+        sim.fingerprint()
+        snap_drift = sim.snapshot()
+        assert sim.counters.codec_fallbacks >= 1
+        assert snap_drift.procs[0][2] is None  # pickled blob while drifted
+        # recover to the exact original state: the codec path must come
+        # back, and the fingerprint must equal the pre-drift one
+        proc.x = 0
+        proc.mark_dirty()
+        fp1 = sim.fingerprint()
+        assert fp1 == fp0
+        snap1 = sim.snapshot()
+        assert snap1.procs[0][2] is not None
+        # a fresh simulation (no drift in its history) agrees
+        fresh = Simulation([_DriftyProc("a")])
+        assert fresh.fingerprint() == fp1
+
+
+class _NoSchemaProc(Process):
+    """Inherits only Process's (const("pid"),) — ``x`` undeclared, so
+    ledger construction always fails on the schema/state mismatch.
+    Module-level: the pickle fallback must be able to serialize it."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.x = 0
+
+    def on_step(self, ctx, inbox):
+        pass
+
+
+def test_mismatched_schema_fallback_is_stable():
+    """A class whose MRO schema never matches its state (here: ``x`` is
+    assigned but undeclared) falls back on *every* capture: ledger
+    construction is retried and fails each time, no ledger is cached,
+    and the fingerprint stays a pure function of the state."""
+    with use_snapshot_mode("codec"):
+        sim = Simulation([_NoSchemaProc("a")])
+        fp0 = sim.fingerprint()
+        snap = sim.snapshot()
+        assert snap.procs[0][2] is None
+        assert "a" not in sim._codec_ledgers
+        sim.processes["a"].x = 1
+        sim.processes["a"].mark_dirty()
+        sim.fingerprint()
+        sim.processes["a"].x = 0
+        sim.processes["a"].mark_dirty()
+        assert sim.fingerprint() == fp0
+
+
+def test_senc_cache_is_bounded():
+    """The process-wide SREF cache must not pin every intern table ever
+    built (one per ledger, across every Simulation in the process)."""
+    from repro.sim import codec as codec_mod
+
+    tables = [
+        dict(codec_mod._BASE_STATICS_MAP)
+        for _ in range(codec_mod._SENC_CACHE_CAP * 2)
+    ]
+    cells = [encode_cell(("payload", 7), t) for t in tables]
+    assert len(set(cells)) == 1  # eviction never changes the bytes
+    assert len(codec_mod._SENC_CACHE) <= codec_mod._SENC_CACHE_CAP

@@ -446,3 +446,120 @@ class TestFingerprintProperties:
         apply_choices(sim, [0, 1, 2])
         sim.restore(snap)
         assert sim.fingerprint() == fp
+
+
+# ---------------------------------------------------------------------------
+# Network-capture reuse soundness across DFS branches (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestNetCaptureBranchSoundness:
+    """The per-container reuse inside ``_net_capture`` must compare
+    element-for-element by identity.
+
+    Restores share the pre-fork ``Message`` objects by reference and
+    ``Network.deliver`` removes from arbitrary queue positions, so two
+    sibling branches that deliver *different* non-last messages out of
+    the same restored length-3 queue hold containers with equal length
+    and an identical last element but different contents.  The old
+    (length, last-element) guard aliased their captures, corrupting the
+    second branch's snapshot and strict fingerprint.
+    """
+
+    @pytest.mark.parametrize("mode", ("bytes", "codec"))
+    def test_sibling_branches_do_not_alias_captures(self, mode):
+        with use_snapshot_mode(mode):
+            sim = Simulation([Pinger("a", "b", n=3), Echo("b")])
+            for _ in range(3):
+                sim.step("a")  # queue a->b now holds link_seq 0, 1, 2
+            base = sim.snapshot()
+            sim.fingerprint(base)
+            # branch A: deliver the head of the queue
+            sim.deliver("a", "b", 0)
+            snap_a = sim.snapshot()
+            fp_a = sim.fingerprint(snap_a)
+            # back out; branch B: deliver the *middle* message — same
+            # length, same (shared) last element, different contents
+            sim.restore(base)
+            sim.deliver("a", "b", 1)
+            snap_b = sim.snapshot()
+            fp_b = sim.fingerprint(snap_b)
+            q_a = [m.link_seq for m in snap_a.network.in_transit[("a", "b")]]
+            q_b = [m.link_seq for m in snap_b.network.in_transit[("a", "b")]]
+            assert q_a == [1, 2]
+            assert q_b == [0, 2]
+            assert fp_a != fp_b
+            # the strict fingerprint must be a pure function of the
+            # state: a fresh simulation driven to B's exact state agrees
+            fresh = Simulation([Pinger("a", "b", n=3), Echo("b")])
+            for _ in range(3):
+                fresh.step("a")
+            fresh.deliver("a", "b", 1)
+            assert fresh.fingerprint() == fp_b
+
+    @pytest.mark.parametrize("mode", ("bytes", "codec"))
+    def test_income_buffers_do_not_alias_captures(self, mode):
+        """Same aliasing shape on the income buffers: both branches end
+        by delivering the same (shared) message, so the buffers agree on
+        length and last element but differ in the middle."""
+        with use_snapshot_mode(mode):
+            sim = Simulation([Pinger("a", "b", n=3), Echo("b")])
+            for _ in range(3):
+                sim.step("a")
+            base = sim.snapshot()
+            sim.fingerprint(base)
+            sim.deliver("a", "b", 0)
+            sim.deliver("a", "b", 2)
+            snap_a = sim.snapshot()
+            fp_a = sim.fingerprint(snap_a)
+            sim.restore(base)
+            sim.deliver("a", "b", 1)
+            sim.deliver("a", "b", 2)
+            snap_b = sim.snapshot()
+            fp_b = sim.fingerprint(snap_b)
+            assert fp_a != fp_b
+            got_a = [m.link_seq for m in snap_a.network.income["b"]]
+            got_b = [m.link_seq for m in snap_b.network.income["b"]]
+            assert got_a == [0, 2]
+            assert got_b == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Identity-keyed fingerprint memos stay bounded (regression)
+# ---------------------------------------------------------------------------
+
+
+def test_payload_canon_memo_is_bounded(monkeypatch):
+    """The canonical-payload memo pins every message it ever sees, so it
+    must evict: messages are re-minted on every post-restore
+    re-execution and an unbounded memo grows with total events."""
+    from repro.sim import executor as executor_mod
+    from repro.sim.messages import Message
+
+    from helpers import Note
+
+    monkeypatch.setattr(executor_mod, "_PAYLOAD_MEMO_CAP", 8)
+    sim = Simulation([Echo("a"), Echo("b")])
+    for i in range(50):
+        m = Message(msg_id=i, src="a", dst="b", link_seq=i, payload=Note(i))
+        assert sim._canon_payload(m) == sim._canon_payload(m)
+    assert len(sim._payload_canon) <= 8
+
+
+def test_net_frag_memo_is_bounded(monkeypatch):
+    """The strict-payload fragment memo is cleared on overflow instead
+    of pinning every capture sub-tuple for the simulation's life."""
+    from repro.sim import executor as executor_mod
+
+    monkeypatch.setattr(executor_mod, "_NET_FRAG_CAP", 4)
+    sim = Simulation([Pinger("a", "b", n=10), Echo("b")])
+    fps = []
+    for _ in range(10):
+        sim.step("a")
+        fps.append(sim.fingerprint())
+    # one insert per container per pass after a possible clear: the memo
+    # hovers at the cap plus the live container count, independent of
+    # the number of events executed
+    containers = len(sim.network.in_transit) + len(sim.network.income)
+    assert len(sim._net_frag) <= 4 + containers
+    assert len(set(fps)) == len(fps)  # eviction never changed a hash
